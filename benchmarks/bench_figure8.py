@@ -1,0 +1,43 @@
+"""Benchmark: regeneration of Figure 8 (GPU acceleration vs PPP instance size).
+
+The paper's Figure 8 plots the CPU and GPU execution times of 10 000
+1-Hamming tabu-search iterations for instance sizes 101x117 ... 1501x1517;
+the GPU overtakes the CPU around 201x217 and reaches ~x10.8 at the largest
+size.  The benchmark regenerates the whole series and asserts that shape.
+"""
+
+import pytest
+
+from repro.harness import figure_eight, format_figure8_series
+
+
+@pytest.mark.benchmark(group="figure8")
+def test_figure8_first_points(benchmark, bench_scale):
+    """The small-instance end of the sweep (fast; exercises the crossover)."""
+    points = benchmark.pedantic(
+        lambda: figure_eight(bench_scale, max_points=5), rounds=1, iterations=1, warmup_rounds=0
+    )
+    benchmark.extra_info["series"] = [p.as_dict() for p in points]
+    assert len(points) == 5
+    # Crossover shape: slowest point is at (or below) parity, later points accelerate.
+    assert points[0].acceleration < 1.2
+    assert points[-1].acceleration > points[0].acceleration
+
+
+@pytest.mark.benchmark(group="figure8")
+def test_figure8_full_sweep(benchmark, bench_scale):
+    """All fifteen instance sizes of the paper's sweep."""
+    points = benchmark.pedantic(
+        lambda: figure_eight(bench_scale), rounds=1, iterations=1, warmup_rounds=0
+    )
+    benchmark.extra_info["table"] = format_figure8_series(
+        points, title=f"Figure 8 ({bench_scale.name} scale)"
+    )
+    assert len(points) == len(bench_scale.figure8_instances)
+    accelerations = [p.acceleration for p in points]
+    # Monotone growth of the acceleration factor with the instance size.
+    assert all(b >= a for a, b in zip(accelerations, accelerations[1:]))
+    # The paper reports ~x1.1 at 201x217 and ~x10.8 at 1501x1517: require the
+    # same order of magnitude (a generous band, as documented in EXPERIMENTS.md).
+    assert 0.5 <= accelerations[1] <= 4.0
+    assert accelerations[-1] >= 5.0

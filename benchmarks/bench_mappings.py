@@ -1,0 +1,105 @@
+"""Benchmark: throughput of the thread-id <-> move index transformations.
+
+These are the per-thread arithmetic kernels of the paper (Appendices A-D);
+their batch versions are the hot path of every vectorized neighborhood
+evaluation, so their throughput matters for the wall-clock cost of the whole
+reproduction.
+"""
+
+import numpy as np
+import pytest
+
+from repro.mappings import (
+    ExactKHammingMapping,
+    ThreeHammingMapping,
+    TwoHammingMapping,
+    minimal_k_tetrahedral_batch,
+)
+
+#: Largest solution size of the paper's evaluation (Figure 8's 1501x1517).
+N_LARGE = 1517
+#: Number of flat indices transformed per benchmark round.
+BATCH = 100_000
+
+
+@pytest.fixture(scope="module")
+def flat_indices_2h():
+    mapping = TwoHammingMapping(N_LARGE)
+    rng = np.random.default_rng(0)
+    return mapping, rng.integers(0, mapping.size, size=BATCH)
+
+
+@pytest.fixture(scope="module")
+def flat_indices_3h():
+    mapping = ThreeHammingMapping(N_LARGE)
+    rng = np.random.default_rng(0)
+    return mapping, rng.integers(0, mapping.size, size=BATCH)
+
+
+@pytest.mark.benchmark(group="mappings")
+def test_two_hamming_one_to_two_batch(benchmark, flat_indices_2h):
+    """Appendix B closed form, 100k indices per call."""
+    mapping, indices = flat_indices_2h
+    moves = benchmark(mapping.from_flat_batch, indices)
+    assert moves.shape == (BATCH, 2)
+
+
+@pytest.mark.benchmark(group="mappings")
+def test_two_hamming_two_to_one_batch(benchmark, flat_indices_2h):
+    """Appendix A closed form, 100k moves per call."""
+    mapping, indices = flat_indices_2h
+    moves = mapping.from_flat_batch(indices)
+    back = benchmark(mapping.to_flat_batch, moves)
+    assert np.array_equal(back, indices)
+
+
+@pytest.mark.benchmark(group="mappings")
+def test_three_hamming_one_to_three_batch(benchmark, flat_indices_3h):
+    """Appendix C (Newton-Raphson) transformation, 100k indices per call."""
+    mapping, indices = flat_indices_3h
+    moves = benchmark(mapping.from_flat_batch, indices)
+    assert moves.shape == (BATCH, 3)
+
+
+@pytest.mark.benchmark(group="mappings")
+def test_three_hamming_three_to_one_batch(benchmark, flat_indices_3h):
+    """Appendix D transformation, 100k moves per call."""
+    mapping, indices = flat_indices_3h
+    moves = mapping.from_flat_batch(indices)
+    back = benchmark(mapping.to_flat_batch, moves)
+    assert np.array_equal(back, indices)
+
+
+@pytest.mark.benchmark(group="mappings")
+def test_newton_raphson_solver_batch(benchmark):
+    """The cubic solver at the heart of the one-to-three transformation."""
+    rng = np.random.default_rng(1)
+    y = rng.integers(1, 10**12, size=BATCH)
+    k = benchmark(minimal_k_tetrahedral_batch, y)
+    assert k.shape == (BATCH,)
+
+
+@pytest.mark.benchmark(group="mappings-ablation")
+def test_ablation_scalar_vs_vectorized_two_hamming(benchmark):
+    """Ablation: per-thread (scalar) transformation loop vs the batch version.
+
+    This quantifies why the vectorized backend is the default execution mode
+    of the simulator.
+    """
+    mapping = TwoHammingMapping(N_LARGE)
+    indices = np.arange(5_000)
+
+    def scalar_loop():
+        return [mapping.from_flat(int(i)) for i in indices]
+
+    moves = benchmark(scalar_loop)
+    assert len(moves) == 5_000
+
+
+@pytest.mark.benchmark(group="mappings-ablation")
+def test_ablation_exact_combinatorial_unranking(benchmark):
+    """Ablation: exact integer unranking (the ground-truth mapping) for k=3."""
+    mapping = ExactKHammingMapping(N_LARGE, 3)
+    indices = np.arange(2_000)
+    moves = benchmark(mapping.from_flat_batch, indices)
+    assert moves.shape == (2_000, 3)

@@ -1,0 +1,45 @@
+"""Benchmark: regeneration of Table I (1-Hamming tabu search on the PPP).
+
+The benchmark measures the wall-clock cost of producing one table row and of
+the whole table at the selected scale; the paper-comparable quantities
+(mean fitness, #solutions, modeled CPU/GPU seconds) are attached to the
+benchmark's ``extra_info`` so they appear in ``--benchmark-verbose`` output
+and in saved benchmark JSON.
+"""
+
+import pytest
+
+from repro.harness import format_experiment_table, run_ppp_experiment, table_one
+
+
+@pytest.mark.benchmark(group="table1")
+def test_table1_single_row(benchmark, bench_scale):
+    """One row of Table I: one instance, `trials` tabu-search runs."""
+    spec = bench_scale.table_instances[0]
+
+    def run_row():
+        return run_ppp_experiment(
+            spec,
+            1,
+            trials=bench_scale.trials,
+            max_iterations=bench_scale.iteration_cap(spec, 1),
+        )
+
+    row = benchmark.pedantic(run_row, rounds=1, iterations=1, warmup_rounds=0)
+    benchmark.extra_info.update(row.as_dict())
+    assert row.num_trials == bench_scale.trials
+
+
+@pytest.mark.benchmark(group="table1")
+def test_table1_full(benchmark, bench_scale):
+    """The complete Table I regeneration at the selected scale."""
+    rows = benchmark.pedantic(lambda: table_one(bench_scale), rounds=1, iterations=1,
+                              warmup_rounds=0)
+    benchmark.extra_info["table"] = format_experiment_table(
+        rows, title=f"Table I ({bench_scale.name} scale)", include_acceleration=False
+    )
+    benchmark.extra_info["total_successes"] = sum(r.successes for r in rows)
+    assert len(rows) == len(bench_scale.table_instances)
+    # Paper shape: the 1-Hamming GPU version is NOT faster than the CPU for
+    # the (small) table instances.
+    assert all(r.acceleration < 1.5 for r in rows)

@@ -1,0 +1,57 @@
+"""Benchmark: regeneration of Table III (3-Hamming tabu search on the PPP).
+
+Table III is the paper's headline result: the 3-Hamming neighborhood is
+impractical on the CPU but affordable on the GPU, and it finds far more
+solutions than the smaller neighborhoods.
+"""
+
+import pytest
+
+from repro.harness import format_experiment_table, run_ppp_experiment, table_one, table_three
+
+
+@pytest.mark.benchmark(group="table3")
+def test_table3_single_row(benchmark, bench_scale):
+    """One row of Table III: one instance, `trials` tabu-search runs."""
+    spec = bench_scale.table_instances[0]
+
+    def run_row():
+        return run_ppp_experiment(
+            spec,
+            3,
+            trials=bench_scale.trials,
+            max_iterations=bench_scale.iteration_cap(spec, 3),
+        )
+
+    row = benchmark.pedantic(run_row, rounds=1, iterations=1, warmup_rounds=0)
+    benchmark.extra_info.update(row.as_dict())
+    assert row.num_trials == bench_scale.trials
+
+
+@pytest.mark.benchmark(group="table3")
+def test_table3_full(benchmark, bench_scale):
+    """The complete Table III regeneration at the selected scale."""
+    rows = benchmark.pedantic(lambda: table_three(bench_scale), rounds=1, iterations=1,
+                              warmup_rounds=0)
+    benchmark.extra_info["table"] = format_experiment_table(
+        rows, title=f"Table III ({bench_scale.name} scale)"
+    )
+    assert len(rows) == len(bench_scale.table_instances)
+    # Paper shape: the 3-Hamming accelerations are the largest of the three
+    # neighborhoods and every instance benefits.
+    assert all(r.acceleration > 1.0 for r in rows)
+
+
+@pytest.mark.benchmark(group="table3")
+def test_table3_vs_table1_solution_quality(benchmark, bench_scale):
+    """Large neighborhoods find at least as many solutions as the 1-Hamming one."""
+
+    def run_both():
+        return table_one(bench_scale), table_three(bench_scale)
+
+    rows1, rows3 = benchmark.pedantic(run_both, rounds=1, iterations=1, warmup_rounds=0)
+    successes1 = sum(r.successes for r in rows1)
+    successes3 = sum(r.successes for r in rows3)
+    benchmark.extra_info["successes_1hamming"] = successes1
+    benchmark.extra_info["successes_3hamming"] = successes3
+    assert successes3 >= successes1

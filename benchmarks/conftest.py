@@ -1,0 +1,19 @@
+"""Shared fixtures for the benchmark suite.
+
+Every benchmark runs at the *smoke* scale by default so that
+``pytest benchmarks/ --benchmark-only`` completes in a couple of minutes on
+a laptop.  Set ``REPRO_BENCH_SCALE=reduced`` (or ``paper``) to rerun the
+same benchmarks at larger scales.
+"""
+
+import os
+
+import pytest
+
+from repro.harness import get_scale
+
+
+@pytest.fixture(scope="session")
+def bench_scale():
+    """Experiment scale used by the table/figure benchmarks."""
+    return get_scale(os.environ.get("REPRO_BENCH_SCALE", "smoke"))

@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""Regenerate Figure 8 of the paper (GPU acceleration on growing PPP instances).
+
+Prints the CPU / GPU execution-time series for 10 000 1-Hamming tabu-search
+iterations over the fifteen instance sizes of the paper, plus an ASCII plot
+of the two curves.
+
+Run with:
+    python examples/reproduce_figure8.py --scale smoke
+    python examples/reproduce_figure8.py --scale reduced --points 15
+"""
+
+import argparse
+
+from repro.harness import PAPER_FIGURE8_REFERENCE, figure_eight, format_figure8_series, get_scale
+
+
+def ascii_plot(points, width: int = 60) -> str:
+    """Rough ASCII rendition of the paper's two execution-time curves."""
+    max_time = max(p.cpu_time for p in points)
+    lines = []
+    for p in points:
+        cpu_bar = int(width * p.cpu_time / max_time)
+        gpu_bar = max(1, int(width * p.gpu_time / max_time))
+        lines.append(f"{p.label:>12} CPU |{'#' * cpu_bar}")
+        lines.append(f"{'':>12} GPU |{'*' * gpu_bar}  (x{p.acceleration:.1f})")
+    return "\n".join(lines)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", default="smoke", choices=("smoke", "reduced", "paper"))
+    parser.add_argument("--points", type=int, default=None,
+                        help="restrict the sweep to the first N instance sizes")
+    args = parser.parse_args()
+
+    scale = get_scale(args.scale)
+    points = figure_eight(scale, max_points=args.points)
+
+    print(format_figure8_series(
+        points,
+        title=(f"Figure 8 — PPP GPU acceleration, 1-Hamming neighborhood, "
+               f"{scale.figure8_nominal_iterations} iterations ({scale.name} scale)"),
+    ))
+    print()
+    print(ascii_plot(points))
+    print("\nPaper reference points: "
+          + ", ".join(f"{label}: x{value}" for label, value in PAPER_FIGURE8_REFERENCE.items()))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Regenerate Tables I, II and III of the paper.
+
+Runs the tabu-search protocol (50 runs per instance at paper scale) on the
+four literature PPP instances for the requested neighborhood order(s) and
+prints the reproduced rows next to the paper's published values.
+
+Run with:
+    python examples/reproduce_tables.py --scale smoke            # seconds
+    python examples/reproduce_tables.py --scale reduced          # minutes
+    python examples/reproduce_tables.py --scale paper --table 1  # the full protocol
+"""
+
+import argparse
+
+from repro.harness import (
+    PAPER_REFERENCE,
+    format_experiment_table,
+    get_scale,
+    table_one,
+    table_three,
+    table_two,
+)
+
+TABLES = {1: ("I", table_one), 2: ("II", table_two), 3: ("III", table_three)}
+
+
+def print_reference(numeral: str) -> None:
+    print(f"\nPaper's published Table {numeral} (for comparison):")
+    for (tab, instance), ref in PAPER_REFERENCE.items():
+        if tab != numeral:
+            continue
+        acc = f", acceleration x{ref['acceleration']}" if "acceleration" in ref else ""
+        print(
+            f"  {instance}: fitness {ref['fitness'][0]} (+/-{ref['fitness'][1]}), "
+            f"{ref['iterations']:.0f} iterations, {ref['successes']}/50 solutions, "
+            f"CPU {ref['cpu_time_s']:.0f}s, GPU {ref['gpu_time_s']:.0f}s{acc}"
+        )
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", default="smoke", choices=("smoke", "reduced", "paper"),
+                        help="experiment scale preset (see repro.harness.config)")
+    parser.add_argument("--table", type=int, choices=(1, 2, 3), action="append",
+                        help="which table(s) to regenerate (default: all three)")
+    args = parser.parse_args()
+
+    scale = get_scale(args.scale)
+    tables = args.table or [1, 2, 3]
+    print(f"Scale: {scale.name} — {scale.trials} trials per instance, instances "
+          f"{[s.label for s in scale.table_instances]}")
+    if scale.name != "paper":
+        print("(times in the CPU/GPU columns are modeled for the measured number of "
+              "iterations; see EXPERIMENTS.md)")
+
+    for index in tables:
+        numeral, builder = TABLES[index]
+        rows = builder(scale)
+        print()
+        print(format_experiment_table(
+            rows,
+            title=f"Table {numeral} — {rows[0].order}-Hamming distance ({scale.name} scale)",
+            include_acceleration=(index != 1),
+        ))
+        print_reference(numeral)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,164 @@
+"""Command-line interface of the reproduction.
+
+``python -m repro <command>`` exposes the main entry points without writing
+any code:
+
+* ``tables``   — regenerate Tables I/II/III at a chosen scale;
+* ``figure8``  — regenerate the Figure 8 acceleration sweep;
+* ``solve``    — run one tabu search on a generated PPP instance;
+* ``devices``  — list the simulated device presets and their key parameters;
+* ``mapping``  — print the thread-id -> move table of a small neighborhood
+  (useful to understand the paper's index transformations).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Large neighborhood local search optimization on (simulated) GPUs",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_tables = sub.add_parser("tables", help="regenerate Tables I/II/III of the paper")
+    p_tables.add_argument("--scale", default="smoke", choices=("smoke", "reduced", "paper"))
+    p_tables.add_argument("--table", type=int, choices=(1, 2, 3), action="append",
+                          help="which table(s); default all")
+
+    p_fig = sub.add_parser("figure8", help="regenerate Figure 8 (acceleration vs instance size)")
+    p_fig.add_argument("--scale", default="smoke", choices=("smoke", "reduced", "paper"))
+    p_fig.add_argument("--points", type=int, default=None, help="first N instance sizes only")
+
+    p_solve = sub.add_parser("solve", help="run one tabu search on a generated PPP instance")
+    p_solve.add_argument("--m", type=int, default=73, help="constraints (rows of A)")
+    p_solve.add_argument("--n", type=int, default=73, help="secret length (columns of A)")
+    p_solve.add_argument("--k", type=int, default=2, choices=(1, 2, 3), help="Hamming order")
+    p_solve.add_argument("--iterations", type=int, default=500, help="iteration cap")
+    p_solve.add_argument("--platform", default="gpu", choices=("cpu", "gpu", "multi-gpu"),
+                         help="which evaluator to use")
+    p_solve.add_argument("--devices", type=int, default=2, help="device count for multi-gpu")
+    p_solve.add_argument("--seed", type=int, default=0, help="instance and search seed")
+    p_solve.add_argument("--texture", action="store_true",
+                         help="bind the instance matrix to texture memory (GPU platforms)")
+
+    sub.add_parser("devices", help="list the simulated GPU device presets")
+
+    p_map = sub.add_parser("mapping", help="print the thread-id -> move table of a neighborhood")
+    p_map.add_argument("--n", type=int, default=6, help="solution length")
+    p_map.add_argument("--k", type=int, default=2, help="Hamming order")
+    p_map.add_argument("--limit", type=int, default=30, help="print at most this many rows")
+
+    return parser
+
+
+# ----------------------------------------------------------------------
+# Subcommand implementations
+# ----------------------------------------------------------------------
+def _cmd_tables(args) -> int:
+    from .harness import format_experiment_table, get_scale, table_one, table_three, table_two
+
+    builders = {1: ("I", table_one), 2: ("II", table_two), 3: ("III", table_three)}
+    scale = get_scale(args.scale)
+    print(f"scale: {scale.name} ({scale.trials} trials per instance)")
+    for index in args.table or [1, 2, 3]:
+        numeral, builder = builders[index]
+        rows = builder(scale)
+        print()
+        print(format_experiment_table(
+            rows,
+            title=f"Table {numeral} ({scale.name} scale)",
+            include_acceleration=(index != 1),
+        ))
+    return 0
+
+
+def _cmd_figure8(args) -> int:
+    from .harness import figure_eight, format_figure8_series, get_scale
+
+    scale = get_scale(args.scale)
+    points = figure_eight(scale, max_points=args.points)
+    print(format_figure8_series(points, title=f"Figure 8 ({scale.name} scale)"))
+    return 0
+
+
+def _cmd_solve(args) -> int:
+    from .core import CPUEvaluator, GPUEvaluator, MultiGPUEvaluator, iteration_times
+    from .harness import format_time
+    from .localsearch import TabuSearch
+    from .neighborhoods import KHammingNeighborhood
+    from .problems import PermutedPerceptronProblem
+
+    problem = PermutedPerceptronProblem.generate(args.m, args.n, rng=args.seed)
+    neighborhood = KHammingNeighborhood(problem.n, args.k)
+    if args.platform == "cpu":
+        evaluator = CPUEvaluator(problem, neighborhood)
+    elif args.platform == "gpu":
+        evaluator = GPUEvaluator(problem, neighborhood, use_texture_memory=args.texture)
+    else:
+        evaluator = MultiGPUEvaluator(problem, neighborhood, devices=args.devices)
+
+    print(f"instance: {args.m} x {args.n} PPP, {args.k}-Hamming neighborhood "
+          f"({neighborhood.size} neighbors), platform: {args.platform}")
+    search = TabuSearch(evaluator, max_iterations=args.iterations)
+    result = search.run(rng=args.seed)
+    print(result.summary())
+    print(f"simulated {evaluator.platform} time: {format_time(result.simulated_time)}")
+    times = iteration_times(problem, neighborhood, use_texture=args.texture)
+    print(f"modeled acceleration vs single-core CPU: x{times.speedup:.1f}")
+    return 0 if result.success else 1
+
+
+def _cmd_devices(_args) -> int:
+    from .gpu import DEVICE_PRESETS, XEON_3GHZ
+
+    for key, dev in sorted(DEVICE_PRESETS.items()):
+        print(f"{key:12s} {dev.name:28s} {dev.multiprocessors:3d} SMs x {dev.cores_per_mp} cores @ "
+              f"{dev.clock_hz / 1e9:.2f} GHz, {dev.mem_bandwidth / 1e9:.0f} GB/s, "
+              f"{dev.global_mem_bytes // 2**20} MiB")
+    host = XEON_3GHZ
+    print(f"{'host':12s} {host.name:28s} {host.cores} cores @ {host.clock_hz / 1e9:.1f} GHz "
+          f"(baseline uses a single core)")
+    return 0
+
+
+def _cmd_mapping(args) -> int:
+    from .mappings import mapping_for
+
+    mapping = mapping_for(args.n, args.k)
+    print(f"{args.k}-Hamming neighborhood of a {args.n}-bit solution: {mapping.size} moves")
+    limit = min(args.limit, mapping.size)
+    moves = mapping.from_flat_batch(np.arange(limit))
+    for flat, move in enumerate(moves):
+        print(f"  thread {flat:4d} -> flip bits {tuple(int(v) for v in move)}")
+    if limit < mapping.size:
+        print(f"  ... ({mapping.size - limit} more)")
+    return 0
+
+
+_COMMANDS = {
+    "tables": _cmd_tables,
+    "figure8": _cmd_figure8,
+    "solve": _cmd_solve,
+    "devices": _cmd_devices,
+    "mapping": _cmd_mapping,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point used by ``python -m repro`` and the console script."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,39 @@
+"""Parallel neighborhood evaluation engine (the paper's primary contribution).
+
+This subpackage ties the mappings, neighborhoods and problems together with
+the GPU execution substrate: kernels that evaluate one neighbor per thread,
+evaluators for the CPU baseline / single GPU / multi-GPU platforms, move
+selection policies and the per-iteration timing estimates that feed the
+reproduced tables.
+"""
+
+from .evaluators import (
+    CPUEvaluator,
+    EvaluatorStats,
+    GPUEvaluator,
+    MultiGPUEvaluator,
+    NeighborhoodEvaluator,
+    SequentialEvaluator,
+)
+from .kernels import build_neighborhood_kernel, kernel_cost_profile, mapping_flops
+from .selection import SelectedMove, best_admissible_move, best_move, first_improving_move
+from .timing_estimates import IterationTimes, iteration_times, run_times
+
+__all__ = [
+    "NeighborhoodEvaluator",
+    "SequentialEvaluator",
+    "CPUEvaluator",
+    "GPUEvaluator",
+    "MultiGPUEvaluator",
+    "EvaluatorStats",
+    "build_neighborhood_kernel",
+    "kernel_cost_profile",
+    "mapping_flops",
+    "SelectedMove",
+    "best_move",
+    "best_admissible_move",
+    "first_improving_move",
+    "IterationTimes",
+    "iteration_times",
+    "run_times",
+]

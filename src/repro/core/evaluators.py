@@ -1,0 +1,302 @@
+"""Neighborhood evaluators: the execution back-ends of the local search.
+
+All evaluators compute *exactly the same* fitness array for a given
+(problem, neighborhood, solution) triple; they differ in how the work would
+be executed and therefore in the **simulated time** they accumulate:
+
+``SequentialEvaluator``
+    A literal Python loop over neighbors (one ``delta_evaluate`` per move).
+    This is the reference implementation used in tests and for very small
+    neighborhoods; its simulated time uses the CPU host model.
+
+``CPUEvaluator``
+    The NumPy-vectorized batch evaluation.  Functionally identical, much
+    faster in wall-clock terms; its *simulated* time still models the
+    paper's sequential single-core CPU baseline (that is the platform being
+    compared against).
+
+``GPUEvaluator``
+    Runs the neighborhood kernel on a simulated device: upload the current
+    solution, launch one thread per neighbor, download the fitness array.
+    Simulated time comes from the device timing model.
+
+``MultiGPUEvaluator``
+    Partitions the flat index space across several simulated devices (the
+    paper's multi-GPU perspective); elapsed simulated time is the slowest
+    partition.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..gpu.device import GTX_280, XEON_3GHZ, DeviceSpec, HostSpec
+from ..gpu.hierarchy import DEFAULT_BLOCK_SIZE
+from ..gpu.kernel import ExecutionMode
+from ..gpu.multi_device import MultiGPU
+from ..gpu.runtime import GPUContext
+from ..gpu.timing import GPUTimingModel, HostTimingModel
+from ..neighborhoods import Neighborhood
+from ..problems import BinaryProblem, as_solution
+from .kernels import build_neighborhood_kernel, kernel_cost_profile, mapping_flops
+
+__all__ = [
+    "EvaluatorStats",
+    "NeighborhoodEvaluator",
+    "SequentialEvaluator",
+    "CPUEvaluator",
+    "GPUEvaluator",
+    "MultiGPUEvaluator",
+]
+
+
+@dataclass
+class EvaluatorStats:
+    """Work and simulated time accumulated by one evaluator."""
+
+    calls: int = 0
+    evaluations: int = 0
+    simulated_time: float = 0.0
+
+    def reset(self) -> None:
+        self.calls = 0
+        self.evaluations = 0
+        self.simulated_time = 0.0
+
+
+class NeighborhoodEvaluator(abc.ABC):
+    """Evaluates all (or a slice of the) neighbors of a candidate solution."""
+
+    #: Short platform label used by the harness ("cpu", "gpu", ...).
+    platform: str = "abstract"
+
+    def __init__(self, problem: BinaryProblem, neighborhood: Neighborhood) -> None:
+        if neighborhood.n != problem.n:
+            raise ValueError(
+                f"neighborhood is defined over n={neighborhood.n} bits but the problem has n={problem.n}"
+            )
+        self.problem = problem
+        self.neighborhood = neighborhood
+        self.stats = EvaluatorStats()
+
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def _evaluate(self, solution: np.ndarray, indices: np.ndarray) -> np.ndarray:
+        """Platform-specific evaluation of the moves at the given flat indices."""
+
+    def evaluate(self, solution: np.ndarray, indices: np.ndarray | None = None) -> np.ndarray:
+        """Fitness of the neighbors at ``indices`` (default: the whole neighborhood)."""
+        solution = as_solution(solution, self.problem.n)
+        if indices is None:
+            indices = np.arange(self.neighborhood.size, dtype=np.int64)
+        else:
+            indices = np.asarray(indices, dtype=np.int64)
+            if indices.size and (indices.min() < 0 or indices.max() >= self.neighborhood.size):
+                raise IndexError("neighborhood index out of range")
+        fitnesses = self._evaluate(solution, indices)
+        self.stats.calls += 1
+        self.stats.evaluations += int(indices.size)
+        return fitnesses
+
+    def reset_stats(self) -> None:
+        self.stats.reset()
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"{type(self).__name__}(problem={self.problem.name!r}, "
+            f"order={self.neighborhood.order}, size={self.neighborhood.size})"
+        )
+
+
+class _HostModelMixin:
+    """Shared CPU-side simulated-time accounting."""
+
+    def _account_host_time(self, num_evaluations: int) -> None:
+        cost = self.problem.cost_profile(self.neighborhood.order)
+        flops = (cost["flops"] + mapping_flops(self.neighborhood.order)) * num_evaluations
+        mem_bytes = cost["bytes"] * num_evaluations
+        self.stats.simulated_time += self._host_model.evaluation_time(flops, mem_bytes)
+        self.stats.simulated_time += self._host_model.iteration_overhead()
+
+
+class SequentialEvaluator(_HostModelMixin, NeighborhoodEvaluator):
+    """Reference evaluator: a literal per-neighbor Python loop."""
+
+    platform = "cpu-sequential"
+
+    def __init__(
+        self,
+        problem: BinaryProblem,
+        neighborhood: Neighborhood,
+        *,
+        host: HostSpec = XEON_3GHZ,
+        cores: int = 1,
+    ) -> None:
+        super().__init__(problem, neighborhood)
+        self._host_model = HostTimingModel(host, cores_used=cores)
+
+    def _evaluate(self, solution: np.ndarray, indices: np.ndarray) -> np.ndarray:
+        mapping = self.neighborhood.mapping
+        out = np.empty(indices.size, dtype=np.float64)
+        for slot, flat in enumerate(indices):
+            move = mapping.from_flat(int(flat))
+            out[slot] = self.problem.delta_evaluate(solution, move)
+        self._account_host_time(indices.size)
+        return out
+
+
+class CPUEvaluator(_HostModelMixin, NeighborhoodEvaluator):
+    """Vectorized CPU evaluator (functional twin of the GPU kernel)."""
+
+    platform = "cpu"
+
+    def __init__(
+        self,
+        problem: BinaryProblem,
+        neighborhood: Neighborhood,
+        *,
+        host: HostSpec = XEON_3GHZ,
+        cores: int = 1,
+    ) -> None:
+        super().__init__(problem, neighborhood)
+        self._host_model = HostTimingModel(host, cores_used=cores)
+
+    def _evaluate(self, solution: np.ndarray, indices: np.ndarray) -> np.ndarray:
+        moves = self.neighborhood.moves(indices)
+        fitnesses = self.problem.evaluate_neighborhood(solution, moves)
+        self._account_host_time(indices.size)
+        return np.asarray(fitnesses, dtype=np.float64)
+
+
+class GPUEvaluator(NeighborhoodEvaluator):
+    """Evaluator running the neighborhood kernel on one simulated GPU."""
+
+    platform = "gpu"
+
+    def __init__(
+        self,
+        problem: BinaryProblem,
+        neighborhood: Neighborhood,
+        *,
+        device: DeviceSpec = GTX_280,
+        block_size: int = DEFAULT_BLOCK_SIZE,
+        mode: ExecutionMode = ExecutionMode.VECTORIZED,
+        context: GPUContext | None = None,
+        use_texture_memory: bool = False,
+    ) -> None:
+        super().__init__(problem, neighborhood)
+        self.context = context if context is not None else GPUContext(device, mode=mode)
+        self.block_size = int(block_size)
+        self.use_texture_memory = bool(use_texture_memory)
+        self.kernel = build_neighborhood_kernel(
+            problem, neighborhood, use_texture=self.use_texture_memory
+        )
+        # Persistent device-side fitness buffer, allocated once (as a real
+        # implementation would) and reused across iterations.
+        self._fitness_buffer = self.context.alloc(
+            f"fitnesses:{id(self)}", (neighborhood.size,), np.float64
+        )
+
+    def _evaluate(self, solution: np.ndarray, indices: np.ndarray) -> np.ndarray:
+        before = self.context.stats.total_time
+        # Host -> device: the candidate solution (int32, as in the paper's kernels).
+        self.context.to_device(f"solution:{id(self)}", solution.astype(np.int32))
+        fitnesses = self._fitness_buffer.data
+        full = (
+            indices.size == self.neighborhood.size
+            and (indices.size == 0 or (indices[0] == 0 and indices[-1] == indices.size - 1))
+        )
+        if full:
+            # Full neighborhood: one thread per neighbor, exactly the paper's launch.
+            self.context.launch(
+                self.kernel,
+                self.neighborhood.size,
+                (solution, fitnesses),
+                block_size=self.block_size,
+            )
+            result = fitnesses.copy()
+        else:
+            # Partial evaluation (used by partitioned/multi-device exploration):
+            # launch over the compacted index list.
+            sub_fitnesses = np.empty(indices.size, dtype=np.float64)
+
+            def vectorized_fn(tids, solution_arr, out):
+                moves = self.neighborhood.mapping.from_flat_batch(indices[tids])
+                out[tids] = self.problem.evaluate_neighborhood(solution_arr, moves)
+
+            from ..gpu.kernel import Kernel  # local import to avoid cycle at module load
+
+            sub_kernel = Kernel(
+                name=self.kernel.name + "[slice]",
+                vectorized_fn=vectorized_fn,
+                cost=self.kernel.cost,
+            )
+            self.context.launch(
+                sub_kernel,
+                indices.size,
+                (solution, sub_fitnesses),
+                block_size=self.block_size,
+            )
+            result = sub_fitnesses
+        # Device -> host: the fitness array, for host-side move selection.
+        d2h_bytes = 4.0 * indices.size
+        self.context.stats.transfer_time += self.context.timing.transfer_time(d2h_bytes)
+        self.context.stats.d2h_bytes += int(d2h_bytes)
+        self.stats.simulated_time += self.context.stats.total_time - before
+        return result
+
+    @property
+    def simulated_time(self) -> float:
+        return self.stats.simulated_time
+
+
+class MultiGPUEvaluator(NeighborhoodEvaluator):
+    """Partitioned exploration across several simulated devices."""
+
+    platform = "multi-gpu"
+
+    def __init__(
+        self,
+        problem: BinaryProblem,
+        neighborhood: Neighborhood,
+        *,
+        devices: int | list[DeviceSpec] = 2,
+        block_size: int = DEFAULT_BLOCK_SIZE,
+        mode: ExecutionMode = ExecutionMode.VECTORIZED,
+    ) -> None:
+        super().__init__(problem, neighborhood)
+        self.pool = MultiGPU(devices, mode=mode)
+        self.block_size = int(block_size)
+        self._sub_evaluators = [
+            GPUEvaluator(
+                problem,
+                neighborhood,
+                block_size=block_size,
+                context=ctx,
+            )
+            for ctx in self.pool.contexts
+        ]
+
+    @property
+    def num_devices(self) -> int:
+        return self.pool.num_devices
+
+    def _evaluate(self, solution: np.ndarray, indices: np.ndarray) -> np.ndarray:
+        slices = np.array_split(indices, self.num_devices)
+        out = np.empty(indices.size, dtype=np.float64)
+        offset = 0
+        per_device_times = []
+        for evaluator, part in zip(self._sub_evaluators, slices):
+            if part.size == 0:
+                per_device_times.append(0.0)
+                continue
+            before = evaluator.stats.simulated_time
+            out[offset : offset + part.size] = evaluator.evaluate(solution, part)
+            per_device_times.append(evaluator.stats.simulated_time - before)
+            offset += part.size
+        # Devices run concurrently: the step costs as much as the slowest one.
+        self.stats.simulated_time += max(per_device_times) if per_device_times else 0.0
+        return out

@@ -1,0 +1,99 @@
+"""Neighborhood-evaluation kernels (the paper's ``MoveIncrEvalKernel``).
+
+The paper's Figs. 7, 9 and 10 show one CUDA kernel per neighborhood: every
+thread derives its move from its global id (identity, closed form with a
+square root, or Newton–Raphson respectively), evaluates the corresponding
+neighbor and writes the fitness into a global array indexed by the thread
+id.  :func:`build_neighborhood_kernel` produces the simulator equivalent for
+*any* binary problem and *any* k-Hamming neighborhood: the per-thread body
+is a literal transcription of the paper's kernels, the vectorized body is
+the NumPy batch equivalent used for fast execution.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..gpu.kernel import Kernel, ThreadContext
+from ..gpu.timing import KernelCostProfile
+from ..neighborhoods import Neighborhood
+from ..problems import BinaryProblem
+
+__all__ = ["build_neighborhood_kernel", "mapping_flops", "kernel_cost_profile"]
+
+#: Approximate arithmetic cost of the thread-id -> move transformation, per
+#: thread, by Hamming order: the identity, the closed form with one square
+#: root (paper Appendix B), and the Newton–Raphson iteration plus a square
+#: root (paper Appendix C / Algorithm 1).
+_MAPPING_FLOPS = {1: 2.0, 2: 25.0, 3: 90.0}
+
+
+def mapping_flops(order: int) -> float:
+    """Per-thread cost of the one-to-k index transformation."""
+    return _MAPPING_FLOPS.get(order, 40.0 * order)
+
+
+def kernel_cost_profile(
+    problem: BinaryProblem, order: int, *, use_texture: bool = False
+) -> KernelCostProfile:
+    """Per-thread cost of evaluating one neighbor of ``problem`` at Hamming order ``order``.
+
+    With ``use_texture=True`` the read-only instance data (as declared by the
+    problem's ``texture_bytes`` cost entry) is served through the texture
+    cache instead of plain global memory — the optimisation behind the
+    "GPUTexture" curve of the paper's Figure 8.
+    """
+    cost = problem.cost_profile(order)
+    total_bytes = cost["bytes"]
+    texture_bytes = 0.0
+    if use_texture:
+        texture_bytes = min(float(cost.get("texture_bytes", 0.0)), total_bytes)
+    return KernelCostProfile(
+        flops=cost["flops"] + mapping_flops(order),
+        gmem_bytes=total_bytes - texture_bytes + 4.0,  # + the fitness write
+        texture_bytes=texture_bytes,
+        registers=24,
+    )
+
+
+def build_neighborhood_kernel(
+    problem: BinaryProblem,
+    neighborhood: Neighborhood,
+    *,
+    use_texture: bool = False,
+) -> Kernel:
+    """Create the evaluation kernel for ``problem`` explored with ``neighborhood``.
+
+    The kernel signature (its ``args`` tuple at launch time) is
+    ``(solution, fitnesses)``:
+
+    * ``solution`` — the current candidate, a length-``n`` 0/1 vector living
+      in (simulated) global memory;
+    * ``fitnesses`` — the output array of ``neighborhood.size`` fitness
+      values, one slot per thread.
+    """
+    mapping = neighborhood.mapping
+    size = neighborhood.size
+
+    def thread_fn(ctx: ThreadContext, solution: np.ndarray, fitnesses: np.ndarray) -> None:
+        # Literal transcription of the paper's kernels:
+        #   int move_index = blockIdx.x * blockDim.x + threadIdx.x;
+        #   if (move_index < N) {
+        #       <one-to-k index transformation>
+        #       new_fitness[move_index] = compute_fitness(V, move...);
+        #   }
+        move_index = ctx.global_id
+        if move_index < size:
+            move = mapping.from_flat(move_index)
+            fitnesses[move_index] = problem.delta_evaluate(solution, move)
+
+    def vectorized_fn(tids: np.ndarray, solution: np.ndarray, fitnesses: np.ndarray) -> None:
+        moves = mapping.from_flat_batch(tids)
+        fitnesses[tids] = problem.evaluate_neighborhood(solution, moves)
+
+    return Kernel(
+        name=f"MoveIncrEvalKernel<{problem.name},{neighborhood.order}-Hamming>",
+        thread_fn=thread_fn,
+        vectorized_fn=vectorized_fn,
+        cost=kernel_cost_profile(problem, neighborhood.order, use_texture=use_texture),
+    )

@@ -1,0 +1,72 @@
+"""Move selection policies applied to an evaluated neighborhood.
+
+After the kernel (or its CPU equivalent) has filled the fitness array, the
+local search selects the move to apply.  The paper's tabu search selects the
+best *admissible* neighbor (not tabu, or passing the aspiration criterion);
+hill climbing selects the best or the first improving one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["SelectedMove", "best_move", "best_admissible_move", "first_improving_move"]
+
+
+@dataclass(frozen=True)
+class SelectedMove:
+    """A selected flat move index together with its fitness."""
+
+    index: int
+    fitness: float
+
+
+def best_move(fitnesses: np.ndarray) -> SelectedMove:
+    """Best-improvement selection: the (lowest-index) minimum of the array."""
+    fitnesses = np.asarray(fitnesses)
+    if fitnesses.size == 0:
+        raise ValueError("cannot select from an empty neighborhood")
+    idx = int(np.argmin(fitnesses))
+    return SelectedMove(index=idx, fitness=float(fitnesses[idx]))
+
+
+def best_admissible_move(
+    fitnesses: np.ndarray,
+    forbidden: np.ndarray,
+    *,
+    aspiration_threshold: float | None = None,
+) -> SelectedMove | None:
+    """Best neighbor that is not forbidden, with an aspiration override.
+
+    ``forbidden`` is a boolean mask over the flat neighborhood indices (the
+    tabu status of each move).  A forbidden move is still admissible when its
+    fitness is strictly better than ``aspiration_threshold`` (classically,
+    the best fitness found so far).  Returns ``None`` when every move is
+    inadmissible.
+    """
+    fitnesses = np.asarray(fitnesses, dtype=np.float64)
+    forbidden = np.asarray(forbidden, dtype=bool)
+    if fitnesses.shape != forbidden.shape:
+        raise ValueError(
+            f"fitnesses and forbidden masks differ in shape: {fitnesses.shape} vs {forbidden.shape}"
+        )
+    admissible = ~forbidden
+    if aspiration_threshold is not None:
+        admissible |= fitnesses < aspiration_threshold
+    if not admissible.any():
+        return None
+    candidate_fitnesses = np.where(admissible, fitnesses, np.inf)
+    idx = int(np.argmin(candidate_fitnesses))
+    return SelectedMove(index=idx, fitness=float(fitnesses[idx]))
+
+
+def first_improving_move(fitnesses: np.ndarray, current_fitness: float) -> SelectedMove | None:
+    """First neighbor strictly better than the current solution, or ``None``."""
+    fitnesses = np.asarray(fitnesses)
+    better = np.nonzero(fitnesses < current_fitness)[0]
+    if better.size == 0:
+        return None
+    idx = int(better[0])
+    return SelectedMove(index=idx, fitness=float(fitnesses[idx]))

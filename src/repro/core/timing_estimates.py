@@ -1,0 +1,107 @@
+"""Per-iteration CPU / GPU time estimates for a neighborhood exploration.
+
+One local-search iteration evaluates the full neighborhood and selects a
+move.  The harness uses these estimates to fill the "CPU time" and "GPU
+time" columns of the reproduced tables: the *same* functional run yields
+both estimates (the explored search trajectory does not depend on the
+platform), exactly as if the identical algorithm had been executed on the
+paper's Xeon host and on its GTX 280.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..gpu.device import GTX_280, XEON_3GHZ, DeviceSpec, HostSpec
+from ..gpu.hierarchy import DEFAULT_BLOCK_SIZE, grid_for
+from ..gpu.timing import GPUTimingModel, HostTimingModel
+from ..neighborhoods import Neighborhood
+from ..problems import BinaryProblem
+from .kernels import kernel_cost_profile, mapping_flops
+
+__all__ = ["IterationTimes", "iteration_times", "run_times"]
+
+
+@dataclass(frozen=True)
+class IterationTimes:
+    """Modeled duration of one LS iteration on the CPU baseline and on the GPU."""
+
+    cpu_time: float
+    gpu_kernel_time: float
+    gpu_transfer_time: float
+    gpu_overhead_time: float
+
+    @property
+    def gpu_time(self) -> float:
+        return self.gpu_kernel_time + self.gpu_transfer_time + self.gpu_overhead_time
+
+    @property
+    def speedup(self) -> float:
+        """CPU / GPU acceleration factor for one iteration (the paper's "Acceleration")."""
+        return self.cpu_time / self.gpu_time if self.gpu_time > 0 else float("inf")
+
+
+def iteration_times(
+    problem: BinaryProblem,
+    neighborhood: Neighborhood,
+    *,
+    device: DeviceSpec = GTX_280,
+    host: HostSpec = XEON_3GHZ,
+    block_size: int = DEFAULT_BLOCK_SIZE,
+    cpu_cores: int = 1,
+    use_texture: bool = False,
+) -> IterationTimes:
+    """Model the time of one full-neighborhood iteration on both platforms.
+
+    CPU baseline: a sequential scan evaluating every neighbor incrementally
+    (plus the move-mapping arithmetic, which the CPU performs implicitly by
+    iterating nested loops — counted once per neighbor for parity).
+
+    GPU: upload the current solution, launch the evaluation kernel (one
+    thread per neighbor), download the fitness array, plus the fixed launch
+    overhead.  This mirrors the structure of the paper's implementation.
+    """
+    size = neighborhood.size
+    order = neighborhood.order
+    cost = problem.cost_profile(order)
+
+    # --- CPU baseline -------------------------------------------------
+    host_model = HostTimingModel(host, cores_used=cpu_cores)
+    cpu_flops = (cost["flops"] + mapping_flops(order)) * size
+    cpu_bytes = cost["bytes"] * size
+    cpu_time = host_model.evaluation_time(cpu_flops, cpu_bytes) + host_model.iteration_overhead()
+
+    # --- GPU ------------------------------------------------------------
+    gpu_model = GPUTimingModel(device)
+    config = grid_for(size, block_size)
+    kernel_cost = kernel_cost_profile(problem, order, use_texture=use_texture)
+    breakdown = gpu_model.kernel_time(config, kernel_cost, active_threads=size)
+    # Host -> device: the candidate solution (n bytes as int8 or 4n as int32;
+    # we charge 4 bytes per element as the paper's int vector).
+    h2d = gpu_model.transfer_time(4.0 * problem.n)
+    # Device -> host: the fitness array (one float per neighbor).
+    d2h = gpu_model.transfer_time(4.0 * size)
+    return IterationTimes(
+        cpu_time=cpu_time,
+        gpu_kernel_time=breakdown.kernel_time,
+        gpu_transfer_time=h2d + d2h,
+        gpu_overhead_time=breakdown.launch_overhead,
+    )
+
+
+def run_times(
+    problem: BinaryProblem,
+    neighborhood: Neighborhood,
+    iterations: int,
+    **kwargs,
+) -> IterationTimes:
+    """Modeled duration of ``iterations`` LS iterations (simple linear scaling)."""
+    if iterations < 0:
+        raise ValueError(f"iterations must be non-negative, got {iterations}")
+    per_iter = iteration_times(problem, neighborhood, **kwargs)
+    return IterationTimes(
+        cpu_time=per_iter.cpu_time * iterations,
+        gpu_kernel_time=per_iter.gpu_kernel_time * iterations,
+        gpu_transfer_time=per_iter.gpu_transfer_time * iterations,
+        gpu_overhead_time=per_iter.gpu_overhead_time * iterations,
+    )

@@ -1,0 +1,67 @@
+"""SPMD GPU execution simulator (the hardware substrate of the reproduction).
+
+The paper runs its kernels on an NVIDIA GTX 280.  This subpackage provides a
+software stand-in: the same thread-hierarchy abstractions, memory spaces and
+kernel-launch API, a functional execution backend (vectorized NumPy or a
+faithful per-thread interpreter) and an analytic timing model that supplies
+the "GPU time" / "CPU time" columns of the reproduced tables.
+"""
+
+from .device import (
+    DEVICE_PRESETS,
+    GTX_280,
+    GTX_8800,
+    TESLA_C1060,
+    XEON_3GHZ,
+    DeviceSpec,
+    HostSpec,
+    get_device,
+)
+from .hierarchy import DEFAULT_BLOCK_SIZE, Dim3, LaunchConfig, ThreadIndex, grid_for
+from .kernel import ExecutionMode, Kernel, KernelLaunch, ThreadContext
+from .memory import DeviceBuffer, MemoryManager, MemorySpace, OutOfDeviceMemory, TransferRecord
+from .multi_device import MultiGPU, Partition, partition_range
+from .occupancy import OccupancyResult, occupancy
+from .profiler import KernelProfile, ProfileReport, format_profile, profile
+from .runtime import DeviceStats, GPUContext
+from .timing import GPUTimingModel, HostTimingModel, KernelCostProfile, KernelTimeBreakdown
+
+__all__ = [
+    "DeviceSpec",
+    "HostSpec",
+    "GTX_280",
+    "GTX_8800",
+    "TESLA_C1060",
+    "XEON_3GHZ",
+    "DEVICE_PRESETS",
+    "get_device",
+    "Dim3",
+    "ThreadIndex",
+    "LaunchConfig",
+    "grid_for",
+    "DEFAULT_BLOCK_SIZE",
+    "ExecutionMode",
+    "Kernel",
+    "KernelLaunch",
+    "ThreadContext",
+    "MemorySpace",
+    "DeviceBuffer",
+    "MemoryManager",
+    "TransferRecord",
+    "OutOfDeviceMemory",
+    "occupancy",
+    "OccupancyResult",
+    "profile",
+    "format_profile",
+    "ProfileReport",
+    "KernelProfile",
+    "GPUTimingModel",
+    "HostTimingModel",
+    "KernelCostProfile",
+    "KernelTimeBreakdown",
+    "GPUContext",
+    "DeviceStats",
+    "MultiGPU",
+    "Partition",
+    "partition_range",
+]

@@ -1,0 +1,132 @@
+"""Kernel abstraction and SPMD execution for the simulated device.
+
+A :class:`Kernel` bundles two implementations of the same computation:
+
+* ``thread_fn(ctx, *args)`` — the faithful per-thread body, written exactly
+  like the paper's CUDA kernels (read the global thread id from ``ctx``,
+  bounds-check it, map it to a move, evaluate, write the result);
+* ``vectorized_fn(tids, *args)`` — the NumPy batch equivalent used for fast
+  execution (one call handles every thread of the launch).
+
+Both produce identical results; the per-thread interpreter exists so that
+tests can assert the equivalence and so that kernel logic can be debugged at
+"thread granularity", while experiments run the vectorized backend.  Timing
+never comes from wall-clock measurement of either backend — it comes from
+the analytic model in :mod:`repro.gpu.timing`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from .hierarchy import DEFAULT_BLOCK_SIZE, LaunchConfig, ThreadIndex, grid_for
+from .timing import KernelCostProfile, KernelTimeBreakdown
+
+__all__ = ["ExecutionMode", "Kernel", "KernelLaunch", "ThreadContext"]
+
+
+class ExecutionMode(enum.Enum):
+    """How the simulator executes kernel bodies."""
+
+    #: Loop over every simulated thread calling ``thread_fn`` — slow but a
+    #: literal transcription of the SPMD semantics.
+    PER_THREAD = "per_thread"
+    #: Execute the whole launch with one call to ``vectorized_fn``.
+    VECTORIZED = "vectorized"
+
+
+@dataclass(frozen=True)
+class ThreadContext:
+    """What a kernel body may read about its own identity (a la ``threadIdx``)."""
+
+    index: ThreadIndex
+
+    @property
+    def global_id(self) -> int:
+        return self.index.global_x
+
+
+@dataclass
+class KernelLaunch:
+    """Record of one executed launch: configuration, outputs and model time."""
+
+    kernel_name: str
+    config: LaunchConfig
+    active_threads: int
+    time: KernelTimeBreakdown
+    mode: ExecutionMode
+
+
+class Kernel:
+    """A device function executable over a grid of threads.
+
+    Parameters
+    ----------
+    name:
+        Display name (used in launch records and statistics).
+    thread_fn:
+        Per-thread body ``(ctx: ThreadContext, *args) -> None``.  It should
+        bounds-check ``ctx.global_id`` against the logical problem size, like
+        the ``if (move_index < N)`` guard of the paper's kernels.
+    vectorized_fn:
+        Batch body ``(tids: np.ndarray, *args) -> None`` where ``tids``
+        contains only the *active* thread ids (the bounds check is applied by
+        the launcher).
+    cost:
+        Per-thread cost profile used by the timing model.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        *,
+        thread_fn: Callable | None = None,
+        vectorized_fn: Callable | None = None,
+        cost: KernelCostProfile,
+    ) -> None:
+        if thread_fn is None and vectorized_fn is None:
+            raise ValueError("a kernel needs at least one of thread_fn / vectorized_fn")
+        self.name = name
+        self.thread_fn = thread_fn
+        self.vectorized_fn = vectorized_fn
+        self.cost = cost
+
+    # ------------------------------------------------------------------
+    def launch_config(
+        self, active_threads: int, block_size: int = DEFAULT_BLOCK_SIZE
+    ) -> LaunchConfig:
+        """One thread per logical work item, rounded up to whole blocks."""
+        return grid_for(active_threads, block_size)
+
+    def execute(
+        self,
+        config: LaunchConfig,
+        args: Sequence,
+        *,
+        active_threads: int | None = None,
+        mode: ExecutionMode = ExecutionMode.VECTORIZED,
+    ) -> int:
+        """Run the kernel body for every (active) thread of ``config``.
+
+        Returns the number of active threads executed.  Results are produced
+        through the output arrays passed in ``args`` — exactly like a real
+        kernel writing to global memory.
+        """
+        total = config.total_threads
+        active = total if active_threads is None else min(int(active_threads), total)
+        if mode is ExecutionMode.VECTORIZED:
+            if self.vectorized_fn is None:
+                raise ValueError(f"kernel {self.name!r} has no vectorized implementation")
+            tids = np.arange(active, dtype=np.int64)
+            self.vectorized_fn(tids, *args)
+        else:
+            if self.thread_fn is None:
+                raise ValueError(f"kernel {self.name!r} has no per-thread implementation")
+            for thread_index in config.thread_indices():
+                ctx = ThreadContext(index=thread_index)
+                self.thread_fn(ctx, *args)
+        return active

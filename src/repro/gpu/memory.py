@@ -1,0 +1,153 @@
+"""Simulated device memory spaces and host<->device transfer accounting.
+
+The GPU in this reproduction is a simulator, so "device memory" is ordinary
+NumPy storage; what matters is *accounting*: how many bytes live on the
+device, how many bytes cross the PCIe bus and how often.  Those counters feed
+the timing model and let the tests assert, for example, that an LS iteration
+only copies the fitness array back (and not the whole neighborhood), exactly
+as the paper's implementation does.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["MemorySpace", "DeviceBuffer", "TransferRecord", "MemoryManager", "OutOfDeviceMemory"]
+
+
+class MemorySpace(enum.Enum):
+    """The CUDA memory spaces distinguished by the simulator."""
+
+    GLOBAL = "global"
+    SHARED = "shared"
+    CONSTANT = "constant"
+    TEXTURE = "texture"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+class OutOfDeviceMemory(RuntimeError):
+    """Raised when an allocation exceeds the device's global memory capacity."""
+
+
+@dataclass
+class DeviceBuffer:
+    """A named allocation living in one of the simulated memory spaces."""
+
+    name: str
+    data: np.ndarray
+    space: MemorySpace = MemorySpace.GLOBAL
+
+    @property
+    def nbytes(self) -> int:
+        return int(self.data.nbytes)
+
+    def copy_from_host(self, host_array: np.ndarray) -> None:
+        host_array = np.asarray(host_array)
+        if host_array.shape != self.data.shape:
+            raise ValueError(
+                f"shape mismatch copying to device buffer {self.name!r}: "
+                f"{host_array.shape} != {self.data.shape}"
+            )
+        np.copyto(self.data, host_array)
+
+    def to_host(self) -> np.ndarray:
+        return self.data.copy()
+
+
+@dataclass(frozen=True)
+class TransferRecord:
+    """One host<->device copy, as logged by the :class:`MemoryManager`."""
+
+    direction: str  # "h2d" or "d2h"
+    nbytes: int
+    buffer: str
+
+
+@dataclass
+class MemoryManager:
+    """Tracks allocations and transfers for one simulated device."""
+
+    capacity_bytes: int
+    allocations: dict[str, DeviceBuffer] = field(default_factory=dict)
+    transfers: list[TransferRecord] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    # Allocation
+    # ------------------------------------------------------------------
+    @property
+    def allocated_bytes(self) -> int:
+        return sum(buf.nbytes for buf in self.allocations.values() if buf.space is not MemorySpace.SHARED)
+
+    def alloc(
+        self,
+        name: str,
+        shape: tuple[int, ...] | int,
+        dtype=np.float64,
+        space: MemorySpace = MemorySpace.GLOBAL,
+    ) -> DeviceBuffer:
+        """Allocate an uninitialised buffer on the device."""
+        if name in self.allocations:
+            raise ValueError(f"device buffer {name!r} already allocated")
+        data = np.empty(shape, dtype=dtype)
+        if space is not MemorySpace.SHARED and self.allocated_bytes + data.nbytes > self.capacity_bytes:
+            raise OutOfDeviceMemory(
+                f"allocating {data.nbytes} bytes for {name!r} exceeds device capacity "
+                f"({self.allocated_bytes}/{self.capacity_bytes} bytes in use)"
+            )
+        buf = DeviceBuffer(name=name, data=data, space=space)
+        self.allocations[name] = buf
+        return buf
+
+    def free(self, name: str) -> None:
+        if name not in self.allocations:
+            raise KeyError(f"no device buffer named {name!r}")
+        del self.allocations[name]
+
+    def get(self, name: str) -> DeviceBuffer:
+        return self.allocations[name]
+
+    def free_all(self) -> None:
+        self.allocations.clear()
+
+    # ------------------------------------------------------------------
+    # Transfers
+    # ------------------------------------------------------------------
+    def to_device(
+        self,
+        name: str,
+        host_array: np.ndarray,
+        space: MemorySpace = MemorySpace.GLOBAL,
+    ) -> DeviceBuffer:
+        """Allocate (if needed) and copy a host array to the device."""
+        host_array = np.asarray(host_array)
+        if name in self.allocations:
+            buf = self.allocations[name]
+            buf.copy_from_host(host_array)
+        else:
+            buf = self.alloc(name, host_array.shape, host_array.dtype, space)
+            buf.copy_from_host(host_array)
+        self.transfers.append(TransferRecord("h2d", int(host_array.nbytes), name))
+        return buf
+
+    def to_host(self, name: str) -> np.ndarray:
+        """Copy a device buffer back to the host."""
+        buf = self.get(name)
+        self.transfers.append(TransferRecord("d2h", buf.nbytes, name))
+        return buf.to_host()
+
+    # ------------------------------------------------------------------
+    # Statistics
+    # ------------------------------------------------------------------
+    def bytes_transferred(self, direction: str | None = None) -> int:
+        return sum(t.nbytes for t in self.transfers if direction is None or t.direction == direction)
+
+    def transfer_count(self, direction: str | None = None) -> int:
+        return sum(1 for t in self.transfers if direction is None or t.direction == direction)
+
+    def reset_statistics(self) -> None:
+        self.transfers.clear()

@@ -1,0 +1,100 @@
+"""Multi-GPU execution: neighborhood partitioning across several devices.
+
+The paper's "Discussion and conclusion" section sketches the multi-GPU
+perspective: *"It will consist of partitioning the neighborhood set, where
+each partition is executed on a single GPU."*  This module implements that
+partitioning over simulated devices.  Each device evaluates a contiguous
+slice of the flat neighborhood index space; the host gathers the partial
+fitness arrays and the simulated time of the step is the maximum over
+devices (they run concurrently) plus the extra host-side gather.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .device import DeviceSpec, GTX_280
+from .kernel import ExecutionMode
+from .runtime import GPUContext
+
+__all__ = ["Partition", "partition_range", "MultiGPU"]
+
+
+@dataclass(frozen=True)
+class Partition:
+    """A contiguous slice ``[start, stop)`` of the flat neighborhood indices."""
+
+    device_index: int
+    start: int
+    stop: int
+
+    @property
+    def size(self) -> int:
+        return self.stop - self.start
+
+
+def partition_range(total: int, parts: int) -> list[Partition]:
+    """Split ``range(total)`` into ``parts`` balanced contiguous partitions.
+
+    The first ``total % parts`` partitions receive one extra element, so the
+    sizes differ by at most one — the natural static balancing when every
+    neighbor costs the same (as is the case for a fixed Hamming distance).
+    """
+    if total < 0:
+        raise ValueError(f"total must be non-negative, got {total}")
+    if parts <= 0:
+        raise ValueError(f"parts must be positive, got {parts}")
+    base, extra = divmod(total, parts)
+    partitions = []
+    start = 0
+    for i in range(parts):
+        size = base + (1 if i < extra else 0)
+        partitions.append(Partition(device_index=i, start=start, stop=start + size))
+        start += size
+    return partitions
+
+
+class MultiGPU:
+    """A pool of simulated devices exploring one neighborhood cooperatively."""
+
+    def __init__(
+        self,
+        devices: list[DeviceSpec] | int = 2,
+        *,
+        mode: ExecutionMode = ExecutionMode.VECTORIZED,
+    ) -> None:
+        if isinstance(devices, int):
+            if devices <= 0:
+                raise ValueError("need at least one device")
+            devices = [GTX_280] * devices
+        if not devices:
+            raise ValueError("need at least one device")
+        self.contexts = [GPUContext(spec, mode=mode) for spec in devices]
+
+    @property
+    def num_devices(self) -> int:
+        return len(self.contexts)
+
+    def partitions(self, total_threads: int) -> list[Partition]:
+        return partition_range(total_threads, self.num_devices)
+
+    # ------------------------------------------------------------------
+    @property
+    def elapsed_parallel_time(self) -> float:
+        """Simulated wall time of the pool so far: the slowest device's clock.
+
+        Each context accumulates its own kernel + transfer time; since the
+        devices run concurrently the pool-level elapsed time is the maximum.
+        """
+        return max(ctx.stats.total_time for ctx in self.contexts)
+
+    @property
+    def total_device_time(self) -> float:
+        """Sum of the per-device simulated times (i.e. consumed device-seconds)."""
+        return sum(ctx.stats.total_time for ctx in self.contexts)
+
+    def reset(self) -> None:
+        for ctx in self.contexts:
+            ctx.reset()

@@ -1,0 +1,156 @@
+"""Device runtime: the host-side context that owns memory, launches kernels
+and accumulates the simulated clock.
+
+:class:`GPUContext` plays the role of the CUDA runtime in the paper's
+implementation: the host allocates device buffers, copies the candidate
+solution and problem data up, launches the neighborhood kernel, copies the
+fitness array back and keeps track of how much (simulated) time all of that
+took.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .device import DeviceSpec, GTX_280
+from .hierarchy import DEFAULT_BLOCK_SIZE, LaunchConfig
+from .kernel import ExecutionMode, Kernel, KernelLaunch
+from .memory import MemoryManager, MemorySpace
+from .timing import GPUTimingModel, KernelCostProfile
+
+__all__ = ["DeviceStats", "GPUContext"]
+
+
+@dataclass
+class DeviceStats:
+    """Accumulated simulated activity of one device context."""
+
+    kernel_launches: int = 0
+    kernel_time: float = 0.0
+    transfer_time: float = 0.0
+    h2d_bytes: int = 0
+    d2h_bytes: int = 0
+    launch_records: list[KernelLaunch] = field(default_factory=list)
+
+    @property
+    def total_time(self) -> float:
+        """Total simulated device-related time (kernels + transfers)."""
+        return self.kernel_time + self.transfer_time
+
+    def reset(self) -> None:
+        self.kernel_launches = 0
+        self.kernel_time = 0.0
+        self.transfer_time = 0.0
+        self.h2d_bytes = 0
+        self.d2h_bytes = 0
+        self.launch_records.clear()
+
+
+class GPUContext:
+    """Host-side handle to one simulated GPU.
+
+    Parameters
+    ----------
+    device:
+        Hardware description (defaults to the paper's GTX 280).
+    mode:
+        Execution backend for kernel bodies; the vectorized backend is the
+        default, the per-thread backend is available for verification.
+    keep_launch_records:
+        Store a :class:`~repro.gpu.kernel.KernelLaunch` record per launch
+        (disable for very long runs to bound memory).
+    """
+
+    def __init__(
+        self,
+        device: DeviceSpec = GTX_280,
+        *,
+        mode: ExecutionMode = ExecutionMode.VECTORIZED,
+        keep_launch_records: bool = False,
+    ) -> None:
+        self.device = device
+        self.mode = mode
+        self.memory = MemoryManager(capacity_bytes=device.global_mem_bytes)
+        self.timing = GPUTimingModel(device)
+        self.stats = DeviceStats()
+        self.keep_launch_records = keep_launch_records
+
+    # ------------------------------------------------------------------
+    # Memory operations (timed)
+    # ------------------------------------------------------------------
+    def to_device(
+        self, name: str, host_array: np.ndarray, space: MemorySpace = MemorySpace.GLOBAL
+    ):
+        """Copy ``host_array`` into device buffer ``name`` (allocating it if new)."""
+        buf = self.memory.to_device(name, host_array, space)
+        self.stats.transfer_time += self.timing.transfer_time(buf.nbytes)
+        self.stats.h2d_bytes += buf.nbytes
+        return buf
+
+    def to_host(self, name: str) -> np.ndarray:
+        """Copy device buffer ``name`` back to the host."""
+        out = self.memory.to_host(name)
+        self.stats.transfer_time += self.timing.transfer_time(out.nbytes)
+        self.stats.d2h_bytes += out.nbytes
+        return out
+
+    def alloc(self, name: str, shape, dtype=np.float64, space: MemorySpace = MemorySpace.GLOBAL):
+        """Allocate an output buffer on the device (not timed: no data crosses PCIe)."""
+        return self.memory.alloc(name, shape, dtype, space)
+
+    def free(self, name: str) -> None:
+        self.memory.free(name)
+
+    # ------------------------------------------------------------------
+    # Kernel launches (timed)
+    # ------------------------------------------------------------------
+    def launch(
+        self,
+        kernel: Kernel,
+        active_threads: int,
+        args,
+        *,
+        block_size: int = DEFAULT_BLOCK_SIZE,
+        config: LaunchConfig | None = None,
+        cost: KernelCostProfile | None = None,
+    ) -> KernelLaunch:
+        """Execute ``kernel`` over ``active_threads`` logical work items.
+
+        Functional results are written into the arrays in ``args``; the
+        simulated execution time is added to :attr:`stats`.
+        """
+        if active_threads <= 0:
+            raise ValueError(f"active_threads must be positive, got {active_threads}")
+        cfg = config if config is not None else kernel.launch_config(active_threads, block_size)
+        if cfg.total_threads < active_threads:
+            raise ValueError(
+                f"launch configuration provides {cfg.total_threads} threads but "
+                f"{active_threads} are required"
+            )
+        kernel.execute(cfg, args, active_threads=active_threads, mode=self.mode)
+        breakdown = self.timing.kernel_time(
+            cfg, cost if cost is not None else kernel.cost, active_threads=active_threads
+        )
+        record = KernelLaunch(
+            kernel_name=kernel.name,
+            config=cfg,
+            active_threads=active_threads,
+            time=breakdown,
+            mode=self.mode,
+        )
+        self.stats.kernel_launches += 1
+        self.stats.kernel_time += breakdown.total_time
+        if self.keep_launch_records:
+            self.stats.launch_records.append(record)
+        return record
+
+    # ------------------------------------------------------------------
+    def reset(self) -> None:
+        """Clear statistics and transfer logs (allocations survive)."""
+        self.stats.reset()
+        self.memory.reset_statistics()
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"GPUContext(device={self.device.name!r}, mode={self.mode.value})"

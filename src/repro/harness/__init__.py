@@ -1,0 +1,57 @@
+"""Experiment harness: regenerates every table and figure of the paper's evaluation."""
+
+from .ablations import (
+    AblationPoint,
+    block_size_ablation,
+    cpu_cores_ablation,
+    device_ablation,
+    multi_gpu_ablation,
+    texture_ablation,
+)
+from .config import PAPER, REDUCED, SMOKE, ExperimentScale, get_scale
+from .experiment import ExperimentRow, TrialRecord, run_ppp_experiment, scale_experiment_rows
+from .figures import PAPER_FIGURE8_REFERENCE, Figure8Point, figure_eight
+from .io import load_rows, points_to_json, rows_from_json, rows_to_json, save_figure8, save_rows
+from .reporting import (
+    format_experiment_table,
+    format_figure8_series,
+    format_time,
+    render_markdown_table,
+)
+from .tables import PAPER_REFERENCE, all_tables, table_one, table_three, table_two
+
+__all__ = [
+    "AblationPoint",
+    "block_size_ablation",
+    "cpu_cores_ablation",
+    "device_ablation",
+    "multi_gpu_ablation",
+    "texture_ablation",
+    "rows_to_json",
+    "rows_from_json",
+    "save_rows",
+    "load_rows",
+    "points_to_json",
+    "save_figure8",
+    "ExperimentScale",
+    "PAPER",
+    "REDUCED",
+    "SMOKE",
+    "get_scale",
+    "ExperimentRow",
+    "TrialRecord",
+    "run_ppp_experiment",
+    "scale_experiment_rows",
+    "table_one",
+    "table_two",
+    "table_three",
+    "all_tables",
+    "PAPER_REFERENCE",
+    "Figure8Point",
+    "figure_eight",
+    "PAPER_FIGURE8_REFERENCE",
+    "format_experiment_table",
+    "format_figure8_series",
+    "format_time",
+    "render_markdown_table",
+]

@@ -1,0 +1,253 @@
+"""Multi-trial experiment runner for the PPP tabu-search evaluation.
+
+This module turns individual :class:`~repro.localsearch.result.LSResult`
+runs into the aggregate rows reported by the paper's tables: mean/std
+fitness, number of iterations, number of successful tries and the modeled
+CPU/GPU times for the measured trajectory length.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from ..core.evaluators import CPUEvaluator, NeighborhoodEvaluator
+from ..core.timing_estimates import iteration_times
+from ..localsearch.tabu import TabuSearch
+from ..neighborhoods import KHammingNeighborhood
+from ..problems import PermutedPerceptronProblem
+from ..problems.instances import PPPInstanceSpec, instance_seed, make_table_instance
+from .config import ExperimentScale
+
+__all__ = ["TrialRecord", "ExperimentRow", "run_ppp_experiment"]
+
+
+@dataclass(frozen=True)
+class TrialRecord:
+    """Outcome of one tabu-search run."""
+
+    trial: int
+    fitness: float
+    iterations: int
+    success: bool
+    wall_time: float
+
+
+@dataclass
+class ExperimentRow:
+    """One row of a reproduced table (one instance, one neighborhood order)."""
+
+    instance: PPPInstanceSpec
+    order: int
+    trials: list[TrialRecord] = field(default_factory=list)
+    #: Modeled single-iteration times for this instance/neighborhood.
+    cpu_time_per_iteration: float = 0.0
+    gpu_time_per_iteration: float = 0.0
+
+    # ------------------------------------------------------------------
+    @property
+    def label(self) -> str:
+        return self.instance.label
+
+    @property
+    def num_trials(self) -> int:
+        return len(self.trials)
+
+    @property
+    def mean_fitness(self) -> float:
+        return float(np.mean([t.fitness for t in self.trials])) if self.trials else float("nan")
+
+    @property
+    def std_fitness(self) -> float:
+        return float(np.std([t.fitness for t in self.trials])) if self.trials else float("nan")
+
+    @property
+    def mean_iterations(self) -> float:
+        return float(np.mean([t.iterations for t in self.trials])) if self.trials else float("nan")
+
+    @property
+    def successes(self) -> int:
+        return sum(t.success for t in self.trials)
+
+    @property
+    def cpu_time(self) -> float:
+        """Modeled CPU time of one average run (paper's "CPU time" column)."""
+        return self.cpu_time_per_iteration * self.mean_iterations
+
+    @property
+    def gpu_time(self) -> float:
+        """Modeled GPU time of one average run (paper's "GPU time" column)."""
+        return self.gpu_time_per_iteration * self.mean_iterations
+
+    @property
+    def acceleration(self) -> float:
+        """CPU / GPU acceleration factor (paper's "Acceleration" column)."""
+        return self.cpu_time / self.gpu_time if self.gpu_time else float("inf")
+
+    def as_dict(self) -> dict:
+        """Plain-dictionary view (used by the reporting code and the benches)."""
+        return {
+            "instance": self.label,
+            "order": self.order,
+            "trials": self.num_trials,
+            "fitness_mean": self.mean_fitness,
+            "fitness_std": self.std_fitness,
+            "iterations_mean": self.mean_iterations,
+            "successes": self.successes,
+            "cpu_time_s": self.cpu_time,
+            "gpu_time_s": self.gpu_time,
+            "acceleration": self.acceleration,
+        }
+
+
+def _run_single_trial(
+    spec: tuple[int, int],
+    order: int,
+    max_iterations: int,
+    tenure: int | None,
+    seed: int,
+    trial: int,
+) -> TrialRecord:
+    """Worker executing one tabu-search trial (used by the parallel runner).
+
+    Rebuilds the instance and the search from scratch so the function is
+    self-contained and picklable; determinism is guaranteed by the seeds.
+    """
+    m, n = spec
+    problem = make_table_instance(PPPInstanceSpec(m, n), trial=0)
+    neighborhood = KHammingNeighborhood(problem.n, order)
+    search = TabuSearch(
+        CPUEvaluator(problem, neighborhood), tenure=tenure, max_iterations=max_iterations
+    )
+    result = search.run(rng=seed)
+    return TrialRecord(
+        trial=trial,
+        fitness=result.best_fitness,
+        iterations=result.iterations,
+        success=result.success,
+        wall_time=result.wall_time,
+    )
+
+
+def run_ppp_experiment(
+    spec: PPPInstanceSpec | tuple[int, int],
+    order: int,
+    *,
+    trials: int,
+    max_iterations: int,
+    tenure: int | None = None,
+    evaluator_factory=None,
+    base_seed: int | None = None,
+    track_history: bool = False,
+    n_jobs: int = 1,
+) -> ExperimentRow:
+    """Run the paper's tabu-search protocol on one instance and one neighborhood.
+
+    Parameters
+    ----------
+    spec:
+        Instance dimensions ``(m, n)``.
+    order:
+        Hamming order of the neighborhood (1, 2 or 3 in the paper).
+    trials:
+        Number of independent runs (the paper uses 50).
+    max_iterations:
+        Iteration cap per run (the paper uses ``n(n-1)(n-2)/6``).
+    tenure:
+        Tabu tenure; defaults to the paper's ``|N| / 6`` rule.
+    evaluator_factory:
+        Callable ``(problem, neighborhood) -> NeighborhoodEvaluator``;
+        defaults to the vectorized CPU evaluator (all evaluators are
+        functionally identical, so the choice only affects wall-clock time).
+    base_seed:
+        Base RNG seed; each trial uses a distinct derived seed.
+    n_jobs:
+        Number of worker processes used to run the trials.  Trials are
+        independent (that is the whole point of the paper's 50-run
+        protocol), so they parallelise trivially across host cores; results
+        are identical to the serial run for any ``n_jobs``.  Only the
+        default evaluator is supported in parallel mode.
+    """
+    if not isinstance(spec, PPPInstanceSpec):
+        spec = PPPInstanceSpec(*spec)
+    if order < 1:
+        raise ValueError(f"neighborhood order must be >= 1, got {order}")
+    if trials <= 0:
+        raise ValueError(f"trials must be positive, got {trials}")
+    if n_jobs < 1:
+        raise ValueError(f"n_jobs must be >= 1, got {n_jobs}")
+    if n_jobs > 1 and evaluator_factory is not None:
+        raise ValueError("parallel trials (n_jobs > 1) require the default evaluator")
+
+    problem = make_table_instance(spec, trial=0)
+    neighborhood = KHammingNeighborhood(problem.n, order)
+
+    per_iteration = iteration_times(problem, neighborhood)
+    row = ExperimentRow(
+        instance=spec,
+        order=order,
+        cpu_time_per_iteration=per_iteration.cpu_time,
+        gpu_time_per_iteration=per_iteration.gpu_time,
+    )
+
+    seeds = [
+        instance_seed(spec.m, spec.n, trial) if base_seed is None else base_seed + trial
+        for trial in range(trials)
+    ]
+
+    if n_jobs > 1:
+        with ProcessPoolExecutor(max_workers=n_jobs) as pool:
+            futures = [
+                pool.submit(
+                    _run_single_trial, (spec.m, spec.n), order, max_iterations, tenure,
+                    seeds[trial], trial,
+                )
+                for trial in range(trials)
+            ]
+            row.trials.extend(future.result() for future in futures)
+        return row
+
+    factory = evaluator_factory or (lambda prob, nb: CPUEvaluator(prob, nb))
+    evaluator: NeighborhoodEvaluator = factory(problem, neighborhood)
+    search = TabuSearch(
+        evaluator,
+        tenure=tenure,
+        max_iterations=max_iterations,
+        track_history=track_history,
+    )
+    for trial in range(trials):
+        result = search.run(rng=seeds[trial])
+        row.trials.append(
+            TrialRecord(
+                trial=trial,
+                fitness=result.best_fitness,
+                iterations=result.iterations,
+                success=result.success,
+                wall_time=result.wall_time,
+            )
+        )
+    return row
+
+
+def scale_experiment_rows(
+    scale: ExperimentScale,
+    order: int,
+    *,
+    evaluator_factory=None,
+) -> list[ExperimentRow]:
+    """Run one table's worth of experiments (every instance of ``scale``)."""
+    rows = []
+    for spec in scale.table_instances:
+        rows.append(
+            run_ppp_experiment(
+                spec,
+                order,
+                trials=scale.trials,
+                max_iterations=scale.iteration_cap(spec, order),
+                evaluator_factory=evaluator_factory,
+            )
+        )
+    return rows

@@ -1,0 +1,92 @@
+"""Text reporting of reproduced tables and figures.
+
+The formatting mirrors the layout of the paper's tables so that a
+side-by-side comparison with the published numbers is straightforward; the
+same renderer feeds EXPERIMENTS.md and the command-line examples.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from .experiment import ExperimentRow
+from .figures import Figure8Point
+
+__all__ = [
+    "format_experiment_table",
+    "format_figure8_series",
+    "format_time",
+    "render_markdown_table",
+]
+
+
+def format_time(seconds: float) -> str:
+    """Human-readable duration (the paper prints whole seconds)."""
+    if seconds != seconds:  # NaN
+        return "-"
+    if seconds < 1e-3:
+        return f"{seconds * 1e6:.0f}us"
+    if seconds < 1.0:
+        return f"{seconds * 1e3:.0f}ms"
+    if seconds < 120:
+        return f"{seconds:.1f}s"
+    if seconds < 7200:
+        return f"{seconds / 60:.1f}min"
+    return f"{seconds / 3600:.1f}h"
+
+
+def render_markdown_table(headers: Sequence[str], rows: Iterable[Sequence[str]]) -> str:
+    """Render a GitHub-flavoured markdown table."""
+    lines = ["| " + " | ".join(headers) + " |", "|" + "|".join("---" for _ in headers) + "|"]
+    for row in rows:
+        lines.append("| " + " | ".join(str(cell) for cell in row) + " |")
+    return "\n".join(lines)
+
+
+def format_experiment_table(
+    rows: Sequence[ExperimentRow],
+    *,
+    title: str | None = None,
+    include_acceleration: bool = True,
+) -> str:
+    """Format one reproduced table in the paper's column layout."""
+    headers = [
+        "Problem",
+        "Fitness",
+        "# iterations",
+        "# solutions",
+        "CPU time",
+        "GPU time",
+    ]
+    if include_acceleration:
+        headers.append("Acceleration")
+    body = []
+    for row in rows:
+        cells = [
+            row.label,
+            f"{row.mean_fitness:.1f} (+/-{row.std_fitness:.1f})",
+            f"{row.mean_iterations:.1f}",
+            f"{row.successes}/{row.num_trials}",
+            format_time(row.cpu_time),
+            format_time(row.gpu_time),
+        ]
+        if include_acceleration:
+            cells.append(f"x{row.acceleration:.1f}")
+        body.append(cells)
+    table = render_markdown_table(headers, body)
+    if title:
+        return f"**{title}**\n\n{table}"
+    return table
+
+
+def format_figure8_series(points: Sequence[Figure8Point], *, title: str | None = None) -> str:
+    """Format the Figure 8 series (CPU curve, GPU curve, acceleration)."""
+    headers = ["Problem size", "CPU time", "GPU time", "Acceleration"]
+    body = [
+        [p.label, format_time(p.cpu_time), format_time(p.gpu_time), f"x{p.acceleration:.1f}"]
+        for p in points
+    ]
+    table = render_markdown_table(headers, body)
+    if title:
+        return f"**{title}**\n\n{table}"
+    return table

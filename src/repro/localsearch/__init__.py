@@ -1,0 +1,37 @@
+"""Local search algorithms built on the parallel neighborhood evaluators."""
+
+from .base import NeighborhoodLocalSearch
+from .hill_climbing import FirstImprovementHillClimbing, HillClimbing
+from .iterated import IteratedLocalSearch, VariableNeighborhoodSearch
+from .result import LSResult
+from .simulated_annealing import SimulatedAnnealing
+from .stopping import (
+    AnyOf,
+    MaxEvaluations,
+    MaxIterations,
+    NoImprovement,
+    SearchState,
+    StoppingCriterion,
+    TargetFitness,
+    paper_stopping_criterion,
+)
+from .tabu import TabuSearch
+
+__all__ = [
+    "NeighborhoodLocalSearch",
+    "HillClimbing",
+    "FirstImprovementHillClimbing",
+    "TabuSearch",
+    "SimulatedAnnealing",
+    "IteratedLocalSearch",
+    "VariableNeighborhoodSearch",
+    "LSResult",
+    "StoppingCriterion",
+    "SearchState",
+    "MaxIterations",
+    "MaxEvaluations",
+    "TargetFitness",
+    "NoImprovement",
+    "AnyOf",
+    "paper_stopping_criterion",
+]

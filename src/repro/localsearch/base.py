@@ -1,0 +1,165 @@
+"""The general local-search model (paper Fig. 1) over a parallel evaluator.
+
+At each iteration the *full* neighborhood of the current solution is
+generated and evaluated (that is the step offloaded to the GPU), one
+candidate is selected to replace the current solution and the process
+repeats until a stopping criterion fires.  Concrete algorithms differ only
+in the selection rule (and in per-iteration bookkeeping such as the tabu
+list), which is what :meth:`NeighborhoodLocalSearch.select_move` captures.
+"""
+
+from __future__ import annotations
+
+import abc
+import time
+
+import numpy as np
+
+from ..core.evaluators import NeighborhoodEvaluator
+from ..core.selection import SelectedMove
+from ..problems.base import flip_bits
+from .result import LSResult
+from .stopping import AnyOf, MaxIterations, SearchState, StoppingCriterion, TargetFitness
+
+__all__ = ["NeighborhoodLocalSearch"]
+
+
+class NeighborhoodLocalSearch(abc.ABC):
+    """Iterative improvement over a fully-evaluated neighborhood.
+
+    Parameters
+    ----------
+    evaluator:
+        The platform-specific neighborhood evaluator (CPU, GPU, multi-GPU);
+        it binds the problem and the neighborhood structure.
+    stopping:
+        Stopping criterion; defaults to the paper's rule
+        (target fitness 0 or ``n(n-1)(n-2)/6`` iterations).
+    max_iterations:
+        Convenience shortcut: when given (and ``stopping`` is not), the run
+        stops at ``max_iterations`` or when the target fitness is reached.
+    track_history:
+        Record the best fitness after every iteration in the result.
+    """
+
+    #: Display name used by the harness.
+    name: str = "local-search"
+
+    def __init__(
+        self,
+        evaluator: NeighborhoodEvaluator,
+        *,
+        stopping: StoppingCriterion | None = None,
+        max_iterations: int | None = None,
+        target_fitness: float = 0.0,
+        track_history: bool = False,
+    ) -> None:
+        self.evaluator = evaluator
+        self.problem = evaluator.problem
+        self.neighborhood = evaluator.neighborhood
+        if stopping is None:
+            if max_iterations is None:
+                n = self.problem.n
+                max_iterations = n * (n - 1) * (n - 2) // 6
+            stopping = AnyOf(TargetFitness(target_fitness), MaxIterations(max_iterations))
+        self.stopping = stopping
+        self.track_history = bool(track_history)
+
+    # ------------------------------------------------------------------
+    # Hooks implemented by concrete algorithms
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def select_move(
+        self,
+        fitnesses: np.ndarray,
+        current_fitness: float,
+        best_fitness: float,
+        iteration: int,
+        rng: np.random.Generator,
+    ) -> SelectedMove | None:
+        """Choose the move to apply, or ``None`` to stop (local optimum)."""
+
+    def on_start(self, initial_solution: np.ndarray, initial_fitness: float) -> None:
+        """Reset per-run algorithm state (tabu lists, temperatures, ...)."""
+
+    def on_move_applied(self, selected: SelectedMove, iteration: int) -> None:
+        """Per-iteration bookkeeping after a move has been accepted."""
+
+    # ------------------------------------------------------------------
+    # The general LS loop of the paper's Fig. 1
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        initial_solution: np.ndarray | None = None,
+        rng: np.random.Generator | int | None = None,
+    ) -> LSResult:
+        """Execute the search and return its :class:`~repro.localsearch.result.LSResult`."""
+        rng = np.random.default_rng(rng)
+        start_wall = time.perf_counter()
+        start_sim = self.evaluator.stats.simulated_time
+        start_evals = self.evaluator.stats.evaluations
+
+        if initial_solution is None:
+            current = self.problem.random_solution(rng)
+        else:
+            current = np.array(initial_solution, dtype=np.int8).copy()
+        current_fitness = float(self.problem.evaluate(current))
+        initial_fitness = current_fitness
+        best = current.copy()
+        best_fitness = current_fitness
+
+        self.on_start(current, current_fitness)
+
+        history: list[float] = []
+        iteration = 0
+        since_improvement = 0
+        stopping_reason = "max_iterations"
+
+        while True:
+            state = SearchState(
+                iteration=iteration,
+                evaluations=self.evaluator.stats.evaluations - start_evals,
+                best_fitness=best_fitness,
+                iterations_since_improvement=since_improvement,
+            )
+            reason = self.stopping.should_stop(state)
+            if reason is not None:
+                stopping_reason = reason
+                break
+
+            # Generate + evaluate the whole neighborhood (the GPU step).
+            fitnesses = self.evaluator.evaluate(current)
+            selected = self.select_move(fitnesses, current_fitness, best_fitness, iteration, rng)
+            if selected is None:
+                stopping_reason = "local_optimum"
+                break
+
+            # Apply the selected move.
+            move = self.neighborhood.mapping.from_flat(selected.index)
+            current = flip_bits(current, move)
+            current_fitness = selected.fitness
+            self.on_move_applied(selected, iteration)
+
+            if current_fitness < best_fitness:
+                best = current.copy()
+                best_fitness = current_fitness
+                since_improvement = 0
+            else:
+                since_improvement += 1
+
+            iteration += 1
+            if self.track_history:
+                history.append(best_fitness)
+
+        return LSResult(
+            best_solution=best,
+            best_fitness=best_fitness,
+            iterations=iteration,
+            evaluations=self.evaluator.stats.evaluations - start_evals,
+            success=self.problem.is_solution(best_fitness),
+            stopping_reason=stopping_reason,
+            simulated_time=self.evaluator.stats.simulated_time - start_sim,
+            wall_time=time.perf_counter() - start_wall,
+            initial_fitness=initial_fitness,
+            history=history,
+        )

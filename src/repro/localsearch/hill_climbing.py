@@ -1,0 +1,56 @@
+"""Hill climbing (steepest / first-improvement descent)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.selection import SelectedMove, best_move, first_improving_move
+from .base import NeighborhoodLocalSearch
+
+__all__ = ["HillClimbing", "FirstImprovementHillClimbing"]
+
+
+class HillClimbing(NeighborhoodLocalSearch):
+    """Steepest-descent hill climbing.
+
+    Every iteration evaluates the full neighborhood and moves to the best
+    neighbor, stopping at the first local optimum (no neighbor strictly
+    better than the current solution).
+    """
+
+    name = "hill-climbing"
+
+    def select_move(
+        self,
+        fitnesses: np.ndarray,
+        current_fitness: float,
+        best_fitness: float,
+        iteration: int,
+        rng: np.random.Generator,
+    ) -> SelectedMove | None:
+        selected = best_move(fitnesses)
+        if selected.fitness >= current_fitness:
+            return None  # local optimum
+        return selected
+
+
+class FirstImprovementHillClimbing(NeighborhoodLocalSearch):
+    """First-improvement descent.
+
+    The neighborhood is still evaluated in full (the parallel model of the
+    paper evaluates all neighbors anyway); the *first* improving neighbor in
+    flat-index order is selected, which reproduces the behaviour of the
+    classic sequential first-improvement strategy.
+    """
+
+    name = "first-improvement"
+
+    def select_move(
+        self,
+        fitnesses: np.ndarray,
+        current_fitness: float,
+        best_fitness: float,
+        iteration: int,
+        rng: np.random.Generator,
+    ) -> SelectedMove | None:
+        return first_improving_move(fitnesses, current_fitness)

@@ -1,0 +1,119 @@
+"""Stopping criteria for local-search runs.
+
+The paper's experiments stop a run either when a solution is found
+(fitness 0) or after a maximum number of iterations equal to
+``n(n-1)(n-2)/6``.  These criteria — and a few other classics — are modelled
+as small composable objects.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+__all__ = [
+    "SearchState",
+    "StoppingCriterion",
+    "MaxIterations",
+    "TargetFitness",
+    "MaxEvaluations",
+    "NoImprovement",
+    "AnyOf",
+    "paper_stopping_criterion",
+]
+
+
+@dataclass(frozen=True)
+class SearchState:
+    """Snapshot of the search passed to stopping criteria."""
+
+    iteration: int
+    evaluations: int
+    best_fitness: float
+    iterations_since_improvement: int
+
+
+class StoppingCriterion(abc.ABC):
+    """Decides whether the search should stop."""
+
+    @abc.abstractmethod
+    def should_stop(self, state: SearchState) -> str | None:
+        """Return a human-readable reason to stop, or ``None`` to continue."""
+
+
+@dataclass(frozen=True)
+class MaxIterations(StoppingCriterion):
+    """Stop after a fixed number of iterations (the paper's main criterion)."""
+
+    limit: int
+
+    def __post_init__(self) -> None:
+        if self.limit < 0:
+            raise ValueError(f"iteration limit must be non-negative, got {self.limit}")
+
+    def should_stop(self, state: SearchState) -> str | None:
+        return "max_iterations" if state.iteration >= self.limit else None
+
+
+@dataclass(frozen=True)
+class TargetFitness(StoppingCriterion):
+    """Stop as soon as the best fitness reaches ``target`` (0 for the PPP)."""
+
+    target: float = 0.0
+
+    def should_stop(self, state: SearchState) -> str | None:
+        return "target_reached" if state.best_fitness <= self.target else None
+
+
+@dataclass(frozen=True)
+class MaxEvaluations(StoppingCriterion):
+    """Stop once the total number of neighbor evaluations exceeds ``limit``."""
+
+    limit: int
+
+    def __post_init__(self) -> None:
+        if self.limit < 0:
+            raise ValueError(f"evaluation limit must be non-negative, got {self.limit}")
+
+    def should_stop(self, state: SearchState) -> str | None:
+        return "max_evaluations" if state.evaluations >= self.limit else None
+
+
+@dataclass(frozen=True)
+class NoImprovement(StoppingCriterion):
+    """Stop after ``limit`` consecutive iterations without improving the best."""
+
+    limit: int
+
+    def __post_init__(self) -> None:
+        if self.limit <= 0:
+            raise ValueError(f"no-improvement limit must be positive, got {self.limit}")
+
+    def should_stop(self, state: SearchState) -> str | None:
+        return "no_improvement" if state.iterations_since_improvement >= self.limit else None
+
+
+class AnyOf(StoppingCriterion):
+    """Stop when any of the wrapped criteria fires (logical OR)."""
+
+    def __init__(self, *criteria: StoppingCriterion) -> None:
+        if not criteria:
+            raise ValueError("AnyOf needs at least one criterion")
+        self.criteria = tuple(criteria)
+
+    def should_stop(self, state: SearchState) -> str | None:
+        for criterion in self.criteria:
+            reason = criterion.should_stop(state)
+            if reason is not None:
+                return reason
+        return None
+
+
+def paper_stopping_criterion(n: int, target: float = 0.0) -> StoppingCriterion:
+    """The stopping rule used throughout the paper's evaluation.
+
+    A run ends when a solution is found or after ``n(n-1)(n-2)/6`` iterations
+    (the size of the 3-Hamming neighborhood of the instance).
+    """
+    limit = n * (n - 1) * (n - 2) // 6
+    return AnyOf(TargetFitness(target), MaxIterations(limit))

@@ -1,0 +1,127 @@
+"""Newton–Raphson solver for the cubic used by the 3-Hamming inverse mapping.
+
+The one-to-three transformation (paper Appendix C) needs, for a flat index
+``f`` with ``Y = m - f`` trailing elements, the smallest integer ``k`` such
+that ::
+
+    k * (k - 1) * (k - 2) / 6  >=  Y
+
+Substituting ``u = k - 1`` turns the boundary equation into the depressed
+cubic the paper solves::
+
+    u**3 - u - 6*Y = 0                                   (paper eq. 9)
+
+Cardano's formula would solve it exactly but, as the paper notes, loses
+precision for large integers on single-precision hardware; a few
+Newton–Raphson iterations are sufficient and map directly onto GPU-friendly
+arithmetic (Algorithm 1 of the paper).  The routines below implement that
+iteration (scalar and vectorized) plus the exact integer correction step
+used by :class:`~repro.mappings.three_hamming.ThreeHammingMapping` so that
+the overall mapping is exact regardless of floating-point rounding.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+__all__ = [
+    "newton_cubic_root",
+    "newton_cubic_root_batch",
+    "minimal_k_tetrahedral",
+    "minimal_k_tetrahedral_batch",
+]
+
+#: Default relative precision of the Newton iteration (paper Algorithm 1).
+DEFAULT_PRECISION = 1e-9
+
+#: Hard cap on iterations; Newton on this cubic converges quadratically so a
+#: handful of steps is always enough, but the cap keeps the loop finite for
+#: degenerate inputs.
+MAX_ITERATIONS = 128
+
+
+def newton_cubic_root(y: float, *, precision: float = DEFAULT_PRECISION) -> float:
+    """Positive real root of ``u**3 - u - 6*y = 0`` via Newton–Raphson.
+
+    Parameters
+    ----------
+    y:
+        The ``Y`` term of paper eq. (9); must be non-negative.
+    precision:
+        Relative step tolerance, mirroring the ``precision`` guard of the
+        paper's Algorithm 1.
+    """
+    if y < 0:
+        raise ValueError(f"Y must be non-negative, got {y}")
+    if y == 0:
+        return 1.0
+    # A cube-root initial guess keeps the iteration monotone and fast.
+    u = (6.0 * y) ** (1.0 / 3.0) + 1.0
+    for _ in range(MAX_ITERATIONS):
+        denom = 3.0 * u * u - 1.0
+        term = (u * u * u - u - 6.0 * y) / denom
+        u -= term
+        if abs(term) <= precision * max(1.0, abs(u)):
+            break
+    return u
+
+
+def newton_cubic_root_batch(
+    y: np.ndarray, *, precision: float = DEFAULT_PRECISION
+) -> np.ndarray:
+    """Vectorized :func:`newton_cubic_root` over a non-negative array."""
+    y = np.asarray(y, dtype=np.float64)
+    if y.size and y.min() < 0:
+        raise ValueError("Y must be non-negative")
+    u = np.cbrt(6.0 * np.maximum(y, 1.0)) + 1.0
+    for _ in range(MAX_ITERATIONS):
+        denom = 3.0 * u * u - 1.0
+        term = (u * u * u - u - 6.0 * y) / denom
+        u -= term
+        if np.all(np.abs(term) <= precision * np.maximum(1.0, np.abs(u))):
+            break
+    return np.where(y == 0, 1.0, u)
+
+
+def _tetrahedral(k: int | np.ndarray):
+    """``C(k, 3)`` written as the paper writes it: ``k(k-1)(k-2)/6``."""
+    return (k * (k - 1) * (k - 2)) // 6
+
+
+def minimal_k_tetrahedral(y: int) -> int:
+    """Smallest integer ``k >= 2`` with ``k(k-1)(k-2)/6 >= y``.
+
+    The float Newton root gives a candidate; an exact integer fix-up of at
+    most one step in either direction guarantees correctness, which is what
+    makes the float GPU-style arithmetic safe for arbitrarily large
+    neighborhoods.
+    """
+    if y <= 0:
+        return 2
+    u = newton_cubic_root(float(y))
+    k = int(math.ceil(u)) + 1
+    # Exact correction: walk down while the predecessor still satisfies the
+    # inequality, then up if the candidate itself does not.
+    while k > 2 and _tetrahedral(k - 1) >= y:
+        k -= 1
+    while _tetrahedral(k) < y:
+        k += 1
+    return k
+
+
+def minimal_k_tetrahedral_batch(y: np.ndarray) -> np.ndarray:
+    """Vectorized :func:`minimal_k_tetrahedral`."""
+    y = np.asarray(y, dtype=np.int64)
+    u = newton_cubic_root_batch(y.astype(np.float64))
+    k = np.ceil(u).astype(np.int64) + 1
+    k = np.maximum(k, 2)
+    # Two exact correction sweeps bound the float error (at most a couple of
+    # ulps on the Newton root, hence at most a couple of integer steps).
+    for _ in range(4):
+        k = np.where((k > 2) & (_tetrahedral(k - 1) >= y), k - 1, k)
+    for _ in range(4):
+        k = np.where(_tetrahedral(k) < y, k + 1, k)
+    k = np.where(y <= 0, 2, k)
+    return k

@@ -1,0 +1,48 @@
+"""1-Hamming distance mapping (paper Section III-B.1, Fig. 7).
+
+For a binary vector of length ``n`` the 1-Hamming neighborhood has exactly
+``n`` members and each neighbor is identified by the single bit position it
+flips.  The thread-id → move mapping is therefore the identity: thread ``t``
+evaluates the neighbor obtained by flipping bit ``t``.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from .base import MoveMapping
+
+__all__ = ["OneHammingMapping"]
+
+
+class OneHammingMapping(MoveMapping):
+    """Identity mapping between thread ids and single-bit-flip moves."""
+
+    k = 1
+
+    def to_flat(self, move: Sequence[int]) -> int:
+        (i,) = self._check_move(move)
+        return i
+
+    def from_flat(self, index: int) -> tuple[int, ...]:
+        index = self._check_index(index)
+        return (index,)
+
+    def to_flat_batch(self, moves: np.ndarray) -> np.ndarray:
+        moves = np.asarray(moves, dtype=np.int64)
+        if moves.ndim != 2 or moves.shape[1] != 1:
+            raise ValueError(f"expected an (m, 1) array, got shape {moves.shape}")
+        if moves.size and (moves.min() < 0 or moves.max() >= self.n):
+            raise ValueError("move index out of range")
+        return moves[:, 0].copy()
+
+    def from_flat_batch(self, indices: np.ndarray) -> np.ndarray:
+        indices = np.asarray(indices, dtype=np.int64).ravel()
+        if indices.size and (indices.min() < 0 or indices.max() >= self.size):
+            raise IndexError("flat index out of range")
+        return indices.reshape(-1, 1).copy()
+
+    def all_moves(self) -> np.ndarray:
+        return np.arange(self.n, dtype=np.int64).reshape(-1, 1)

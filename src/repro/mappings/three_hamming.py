@@ -1,0 +1,146 @@
+"""3-Hamming distance mapping (paper Section III-B.3, Appendices C and D).
+
+A 3-Hamming move flips three distinct bit positions ``(z, x, y)`` with
+``0 <= z < x < y < n``.  The paper organises the ``n(n-1)(n-2)/6`` moves as a
+stack of triangular *plans* ("3D abstraction"): plan ``z`` contains every
+move whose smallest flipped bit is ``z`` and is itself a 2-Hamming triangle
+over the remaining ``n - z - 1`` positions.  The flat ordering is therefore
+the lexicographic order of the ascending triples.
+
+* **one-to-three** (Appendix C): given a flat index ``f``, find the plan by
+  solving the cubic ``u³ - u - 6Y = 0`` with Newton–Raphson (``Y`` being the
+  number of trailing elements), then reuse the 2-Hamming one-to-two
+  transformation inside that plan with a change of variables.
+* **three-to-one** (Appendix D): the plan ``z`` is known, so the number of
+  elements in the preceding plans is a closed form and the 2-Hamming
+  two-to-one formula finishes the job.
+
+The implementation below follows that scheme exactly but adds an exact
+integer correction to the Newton step (see :mod:`repro.mappings.newton`), so
+the mapping is a true bijection for any ``n`` — including sizes far beyond
+the 117-bit instances of the paper.
+"""
+
+from __future__ import annotations
+
+from math import comb
+from typing import Sequence
+
+import numpy as np
+
+from .base import MoveMapping
+from .newton import minimal_k_tetrahedral, minimal_k_tetrahedral_batch
+from .two_hamming import flat_to_pair, pair_to_flat
+
+__all__ = ["ThreeHammingMapping", "triple_to_flat", "flat_to_triple"]
+
+
+def _elements_from_plan(n: int, z: int) -> int:
+    """Number of moves contained in plans ``z, z+1, ..., n-3``.
+
+    Plan ``z`` holds ``C(n-1-z, 2)`` moves, so the tail sum telescopes to the
+    tetrahedral number ``C(n-z, 3)``.
+    """
+    return comb(n - z, 3)
+
+
+def triple_to_flat(z: int, x: int, y: int, n: int) -> int:
+    """Three-to-one index transformation (paper Appendix D).
+
+    ``z < x < y`` are the flipped bit positions; the result is the flat
+    (thread) index in the lexicographic ordering of the 3D abstraction.
+    """
+    m = comb(n, 3)
+    elements_before = m - _elements_from_plan(n, z)
+    # Inside plan z the move is the pair (x, y) relabelled to the sub-problem
+    # over positions {z+1, ..., n-1}.
+    n_plan = n - (z + 1)
+    return elements_before + pair_to_flat(x - (z + 1), y - (z + 1), n_plan)
+
+
+def flat_to_triple(index: int, n: int, *, float_sqrt: bool = False) -> tuple[int, int, int]:
+    """One-to-three index transformation (paper Appendix C)."""
+    m = comb(n, 3)
+    # Trailing elements counted from `index` (inclusive), as in the paper.
+    remaining = m - index
+    # Find the plan: smallest k with C(k, 3) >= remaining, where k = n - z.
+    k = minimal_k_tetrahedral(remaining)
+    z = n - k
+    elements_before = m - comb(k, 3)
+    local = index - elements_before
+    n_plan = n - (z + 1)
+    i, j = flat_to_pair(local, n_plan, float_sqrt=float_sqrt)
+    return z, i + z + 1, j + z + 1
+
+
+class ThreeHammingMapping(MoveMapping):
+    """Plan-decomposition mapping between thread ids and three-bit-flip moves."""
+
+    k = 3
+
+    def __init__(self, n: int, *, float_sqrt: bool = False) -> None:
+        super().__init__(n)
+        self.float_sqrt = bool(float_sqrt)
+
+    def to_flat(self, move: Sequence[int]) -> int:
+        z, x, y = self._check_move(move)
+        return triple_to_flat(z, x, y, self.n)
+
+    def from_flat(self, index: int) -> tuple[int, ...]:
+        index = self._check_index(index)
+        return flat_to_triple(index, self.n, float_sqrt=self.float_sqrt)
+
+    # ------------------------------------------------------------------
+    # Vectorized versions
+    # ------------------------------------------------------------------
+    def to_flat_batch(self, moves: np.ndarray) -> np.ndarray:
+        moves = np.asarray(moves, dtype=np.int64)
+        if moves.ndim != 2 or moves.shape[1] != 3:
+            raise ValueError(f"expected an (m, 3) array, got shape {moves.shape}")
+        z, x, y = moves[:, 0], moves[:, 1], moves[:, 2]
+        if moves.size and not (np.all(z < x) and np.all(x < y)):
+            raise ValueError("moves must be strictly increasing triples (z < x < y)")
+        if moves.size and (z.min() < 0 or y.max() >= self.n):
+            raise ValueError("move index out of range")
+        n = self.n
+        m = self.size
+        k = n - z
+        elements_before = m - (k * (k - 1) * (k - 2)) // 6
+        n_plan = n - (z + 1)
+        xi = x - (z + 1)
+        yj = y - (z + 1)
+        local = xi * (n_plan - 1) + (yj - 1) - (xi * (xi + 1)) // 2
+        return elements_before + local
+
+    def from_flat_batch(self, indices: np.ndarray) -> np.ndarray:
+        indices = np.asarray(indices, dtype=np.int64).ravel()
+        if indices.size and (indices.min() < 0 or indices.max() >= self.size):
+            raise IndexError("flat index out of range")
+        n = self.n
+        m = self.size
+        remaining = m - indices
+        k = minimal_k_tetrahedral_batch(remaining)
+        z = n - k
+        elements_before = m - (k * (k - 1) * (k - 2)) // 6
+        local = indices - elements_before
+        n_plan = n - (z + 1)
+        # Inline 2-Hamming one-to-two over per-element plan sizes.
+        m_plan = (n_plan * (n_plan - 1)) // 2
+        x_term = m_plan - local - 1
+        if self.float_sqrt:
+            kk = np.floor(
+                (np.sqrt((8 * x_term + 1).astype(np.float32) + np.float32(0.1)) - 1.0) / 2.0
+            ).astype(np.int64)
+        else:
+            root = np.sqrt((8 * x_term + 1).astype(np.float64)).astype(np.int64)
+            root = np.where((root + 1) * (root + 1) <= 8 * x_term + 1, root + 1, root)
+            root = np.where(root * root > 8 * x_term + 1, root - 1, root)
+            kk = (root - 1) // 2
+        i = n_plan - 2 - kk
+        j = local - i * (n_plan - 1) + (i * (i + 1)) // 2 + 1
+        x = i + z + 1
+        y = j + z + 1
+        return np.stack([z, x, y], axis=1)
+
+    def all_moves(self) -> np.ndarray:
+        return self.from_flat_batch(np.arange(self.size, dtype=np.int64))

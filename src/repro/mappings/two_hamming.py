@@ -1,0 +1,117 @@
+"""2-Hamming distance mapping (paper Section III-B.2, Appendices A and B).
+
+A 2-Hamming move flips two distinct bit positions ``(i, j)`` with
+``0 <= i < j < n``.  The neighborhood is laid out as the strictly lower part
+of an ``n x n`` triangle ("2D abstraction"), giving the closed forms
+
+* two-to-one (Appendix A, eq. 1)::
+
+      f(i, j) = i*(n-1) + (j-1) - i*(i+1)/2
+
+* one-to-two (Appendix B, eqs. 2–6)::
+
+      X = m - f - 1
+      k = floor((sqrt(8*X + 1) - 1) / 2)
+      i = n - 2 - k
+      j = f - i*(n-1) + i*(i+1)/2 + 1
+
+where ``m = n*(n-1)/2`` is the neighborhood size.  The GPU kernel in the
+paper (Fig. 9) evaluates the inverse with ``sqrtf`` plus a small epsilon to
+guard against the square root of a perfect square landing just below the
+integer; :class:`TwoHammingMapping` exposes both the exact integer square
+root (default) and the float emulation (``float_sqrt=True``) so that the
+kernel arithmetic can be reproduced verbatim and tested for robustness.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+from .base import MoveMapping
+
+__all__ = ["TwoHammingMapping", "pair_to_flat", "flat_to_pair"]
+
+
+def pair_to_flat(i: int, j: int, n: int) -> int:
+    """Paper eq. (1): flat index of the move flipping bits ``i < j``."""
+    return i * (n - 1) + (j - 1) - (i * (i + 1)) // 2
+
+
+def flat_to_pair(index: int, n: int, *, float_sqrt: bool = False) -> tuple[int, int]:
+    """Paper eqs. (2)–(6): move ``(i, j)`` corresponding to flat ``index``."""
+    m = n * (n - 1) // 2
+    x = m - index - 1
+    if float_sqrt:
+        # Emulates the single-precision arithmetic of the CUDA kernel
+        # (Fig. 9), including its protective epsilon.
+        k = int(math.floor((math.sqrt(np.float32(8 * x + 1) + np.float32(0.1)) - 1.0) / 2.0))
+    else:
+        k = (math.isqrt(8 * x + 1) - 1) // 2
+    i = n - 2 - k
+    j = index - i * (n - 1) + (i * (i + 1)) // 2 + 1
+    return i, j
+
+
+class TwoHammingMapping(MoveMapping):
+    """Closed-form mapping between thread ids and two-bit-flip moves."""
+
+    k = 2
+
+    def __init__(self, n: int, *, float_sqrt: bool = False) -> None:
+        super().__init__(n)
+        self.float_sqrt = bool(float_sqrt)
+
+    def to_flat(self, move: Sequence[int]) -> int:
+        i, j = self._check_move(move)
+        return pair_to_flat(i, j, self.n)
+
+    def from_flat(self, index: int) -> tuple[int, ...]:
+        index = self._check_index(index)
+        return flat_to_pair(index, self.n, float_sqrt=self.float_sqrt)
+
+    # ------------------------------------------------------------------
+    # Vectorized versions
+    # ------------------------------------------------------------------
+    def to_flat_batch(self, moves: np.ndarray) -> np.ndarray:
+        moves = np.asarray(moves, dtype=np.int64)
+        if moves.ndim != 2 or moves.shape[1] != 2:
+            raise ValueError(f"expected an (m, 2) array, got shape {moves.shape}")
+        i = moves[:, 0]
+        j = moves[:, 1]
+        if moves.size and not np.all(i < j):
+            raise ValueError("moves must be strictly increasing pairs (i < j)")
+        if moves.size and (i.min() < 0 or j.max() >= self.n):
+            raise ValueError("move index out of range")
+        n = self.n
+        return i * (n - 1) + (j - 1) - (i * (i + 1)) // 2
+
+    def from_flat_batch(self, indices: np.ndarray) -> np.ndarray:
+        indices = np.asarray(indices, dtype=np.int64).ravel()
+        if indices.size and (indices.min() < 0 or indices.max() >= self.size):
+            raise IndexError("flat index out of range")
+        n = self.n
+        m = self.size
+        x = m - indices - 1
+        if self.float_sqrt:
+            k = np.floor(
+                (np.sqrt((8 * x + 1).astype(np.float32) + np.float32(0.1)) - 1.0) / 2.0
+            ).astype(np.int64)
+        else:
+            # NumPy has no vectorized integer sqrt; use float64 (exact for the
+            # magnitudes involved: 8*x+1 < 8*C(n,2) fits comfortably in the
+            # 2**53 float64 integer range for any realistic n) with an exact
+            # correction step.
+            root = np.sqrt((8 * x + 1).astype(np.float64)).astype(np.int64)
+            # correct possible off-by-one from float rounding
+            root = np.where((root + 1) * (root + 1) <= 8 * x + 1, root + 1, root)
+            root = np.where(root * root > 8 * x + 1, root - 1, root)
+            k = (root - 1) // 2
+        i = n - 2 - k
+        j = indices - i * (n - 1) + (i * (i + 1)) // 2 + 1
+        return np.stack([i, j], axis=1)
+
+    def all_moves(self) -> np.ndarray:
+        return self.from_flat_batch(np.arange(self.size, dtype=np.int64))

@@ -1,0 +1,18 @@
+"""Neighborhood structures for binary problems (paper Section II)."""
+
+from .base import Neighborhood, NeighborhoodSlice
+from .hamming import (
+    KHammingNeighborhood,
+    OneHammingNeighborhood,
+    ThreeHammingNeighborhood,
+    TwoHammingNeighborhood,
+)
+
+__all__ = [
+    "Neighborhood",
+    "NeighborhoodSlice",
+    "KHammingNeighborhood",
+    "OneHammingNeighborhood",
+    "TwoHammingNeighborhood",
+    "ThreeHammingNeighborhood",
+]

@@ -1,0 +1,40 @@
+"""Binary optimization problems used as workloads for the neighborhood kernels."""
+
+from .base import BinaryProblem, as_solution, flip_bits
+from .instances import (
+    FIGURE8_INSTANCES,
+    TABLE_INSTANCES,
+    PPPInstanceSpec,
+    instance_seed,
+    make_figure8_instance,
+    make_table_instance,
+)
+from .maxsat import MaxSat, generate_random_ksat
+from .nk_landscape import NKLandscape
+from .onemax import LeadingOnes, OneMax
+from .ppp import PermutedPerceptronProblem, generate_ppp_instance
+from .ppp_heuristics import best_of_pool, majority_vote_solution, randomized_majority_solution
+from .ubqp import UBQP
+
+__all__ = [
+    "BinaryProblem",
+    "as_solution",
+    "flip_bits",
+    "PermutedPerceptronProblem",
+    "generate_ppp_instance",
+    "majority_vote_solution",
+    "randomized_majority_solution",
+    "best_of_pool",
+    "OneMax",
+    "LeadingOnes",
+    "MaxSat",
+    "generate_random_ksat",
+    "NKLandscape",
+    "UBQP",
+    "PPPInstanceSpec",
+    "TABLE_INSTANCES",
+    "FIGURE8_INSTANCES",
+    "make_table_instance",
+    "make_figure8_instance",
+    "instance_seed",
+]

@@ -1,0 +1,97 @@
+"""Random Max-k-SAT as an additional binary workload.
+
+The paper's methodology is independent of the objective function: any binary
+problem can plug its ``compute_fitness`` into the neighborhood kernels.
+Max-SAT is the canonical such problem and is used by the examples to show
+the library on a non-cryptographic workload.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import BinaryProblem, as_solution
+
+__all__ = ["MaxSat", "generate_random_ksat"]
+
+
+def generate_random_ksat(
+    num_vars: int,
+    num_clauses: int,
+    k: int = 3,
+    rng: np.random.Generator | int | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Generate a uniform random k-SAT formula.
+
+    Returns ``(variables, signs)``: two ``(num_clauses, k)`` arrays where
+    ``variables[c, l]`` is the variable index of literal ``l`` of clause
+    ``c`` and ``signs[c, l]`` is +1 for a positive literal, -1 for a negated
+    one.  Variables within a clause are distinct.
+    """
+    if num_vars < k:
+        raise ValueError(f"need at least k={k} variables, got {num_vars}")
+    if num_clauses <= 0:
+        raise ValueError(f"num_clauses must be positive, got {num_clauses}")
+    rng = np.random.default_rng(rng)
+    variables = np.empty((num_clauses, k), dtype=np.int64)
+    for c in range(num_clauses):
+        variables[c] = rng.choice(num_vars, size=k, replace=False)
+    signs = rng.choice(np.array([-1, 1], dtype=np.int8), size=(num_clauses, k))
+    return variables, signs
+
+
+class MaxSat(BinaryProblem):
+    """Minimize the number of unsatisfied clauses of a CNF formula."""
+
+    name = "maxsat"
+
+    def __init__(self, num_vars: int, variables: np.ndarray, signs: np.ndarray) -> None:
+        variables = np.asarray(variables, dtype=np.int64)
+        signs = np.asarray(signs, dtype=np.int8)
+        if variables.shape != signs.shape or variables.ndim != 2:
+            raise ValueError("variables and signs must be (num_clauses, k) arrays of equal shape")
+        if variables.size and (variables.min() < 0 or variables.max() >= num_vars):
+            raise ValueError("clause variable index out of range")
+        if signs.size and not np.all(np.isin(signs, (-1, 1))):
+            raise ValueError("signs must be +/-1")
+        self.n = int(num_vars)
+        self.variables = variables
+        self.signs = signs
+        self.num_clauses, self.k_literals = map(int, variables.shape)
+
+    @classmethod
+    def random(
+        cls,
+        num_vars: int,
+        num_clauses: int,
+        k: int = 3,
+        rng: np.random.Generator | int | None = None,
+    ) -> "MaxSat":
+        variables, signs = generate_random_ksat(num_vars, num_clauses, k, rng)
+        return cls(num_vars, variables, signs)
+
+    # ------------------------------------------------------------------
+    def _unsatisfied(self, solutions: np.ndarray) -> np.ndarray:
+        """Count unsatisfied clauses for a ``(batch, n)`` array of assignments."""
+        # literal value: x if sign=+1 else (1-x)
+        lit_vars = solutions[:, self.variables]  # (batch, clauses, k)
+        lit_true = np.where(self.signs[None, :, :] == 1, lit_vars, 1 - lit_vars)
+        clause_sat = lit_true.any(axis=2)
+        return (~clause_sat).sum(axis=1)
+
+    def evaluate(self, solution: np.ndarray) -> float:
+        solution = as_solution(solution, self.n)
+        return float(self._unsatisfied(solution[None, :])[0])
+
+    def evaluate_batch(self, solutions: np.ndarray) -> np.ndarray:
+        solutions = np.asarray(solutions, dtype=np.int8)
+        if solutions.ndim != 2 or solutions.shape[1] != self.n:
+            raise ValueError(f"expected a (batch, {self.n}) array, got {solutions.shape}")
+        return self._unsatisfied(solutions).astype(np.float64)
+
+    def cost_profile(self, k: int = 1) -> dict[str, float]:
+        # Full re-evaluation over all clauses per neighbor (no incremental
+        # structure maintained here).
+        flops = 3.0 * self.num_clauses * self.k_literals
+        mem_bytes = 8.0 * self.num_clauses * self.k_literals
+        return {"flops": flops, "bytes": mem_bytes}

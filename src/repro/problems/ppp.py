@@ -1,0 +1,232 @@
+"""The Permuted Perceptron Problem (PPP).
+
+The PPP is the cryptographic identification scheme of Pointcheval (EUROCRYPT
+1995) that the paper uses to validate its GPU neighborhood exploration.  An
+*epsilon-matrix* ``A`` (entries in {-1, +1}) of size ``m x n`` and a multiset
+``S`` of non-negative integers of size ``m`` are public; the secret is an
+epsilon-vector ``V`` of size ``n`` such that the multiset of the entries of
+``A V`` equals ``S``.
+
+Following Knudsen & Meier (EUROCRYPT 1999) — the reference the paper quotes —
+candidate solutions ``V'`` are scored with::
+
+    f(V') = 30 * sum_i (|(A V')_i| - (A V')_i)  +  sum_i |H_i - H'_i|
+
+where ``H`` is the value histogram of the secret product ``A V`` (derived
+from ``S``) and ``H'`` the histogram of ``A V'``.  ``f(V') == 0`` certifies a
+successful attack.  This is a pure minimization problem over binary strings,
+with the {0,1} encoding mapped to the {-1,+1} epsilon encoding by
+``V = 2 b - 1``.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from .base import BinaryProblem, as_solution
+
+__all__ = ["PermutedPerceptronProblem", "generate_ppp_instance"]
+
+#: Weight of the sign-violation term in the Knudsen–Meier objective.
+SIGN_PENALTY_WEIGHT = 30
+
+
+def generate_ppp_instance(
+    m: int,
+    n: int,
+    rng: np.random.Generator | int | None = None,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Generate a random PPP instance with a planted secret.
+
+    Follows the construction used in the cryptographic literature: draw a
+    uniform random epsilon-matrix ``A`` and epsilon-vector ``V``; whenever a
+    row of ``A V`` is negative, negate that row of ``A`` so that the secret
+    satisfies the perceptron constraints ``(A V)_j >= 0``.  The public
+    multiset ``S`` is then the resulting vector ``A V``.
+
+    Returns
+    -------
+    (A, S, secret_bits):
+        ``A`` is an ``(m, n)`` int8 matrix of +/-1, ``S`` the length-``m``
+        vector of products and ``secret_bits`` the planted secret in the
+        {0,1} encoding (``fitness == 0`` by construction).
+    """
+    if m <= 0 or n <= 0:
+        raise ValueError(f"instance dimensions must be positive, got m={m}, n={n}")
+    rng = np.random.default_rng(rng)
+    A = rng.choice(np.array([-1, 1], dtype=np.int8), size=(m, n))
+    V = rng.choice(np.array([-1, 1], dtype=np.int32), size=n)
+    Y = A.astype(np.int32) @ V
+    negative = Y < 0
+    A[negative] = -A[negative]
+    Y = np.abs(Y)
+    secret_bits = ((V + 1) // 2).astype(np.int8)
+    return A, Y.astype(np.int32), secret_bits
+
+
+class PermutedPerceptronProblem(BinaryProblem):
+    """Knudsen–Meier objective for the Permuted Perceptron Problem.
+
+    Parameters
+    ----------
+    A:
+        Public epsilon-matrix of shape ``(m, n)`` with entries in {-1, +1}.
+    S:
+        Public multiset of the ``m`` products ``(A V)_j`` of the secret, as a
+        1-D array (order is irrelevant; only the value histogram is used).
+    secret:
+        Optional planted secret in the {0,1} encoding, kept only for testing
+        and verification purposes (never used by the objective).
+    """
+
+    name = "ppp"
+
+    def __init__(
+        self,
+        A: np.ndarray,
+        S: np.ndarray,
+        secret: np.ndarray | None = None,
+    ) -> None:
+        A = np.asarray(A)
+        if A.ndim != 2:
+            raise ValueError(f"A must be a 2-D matrix, got shape {A.shape}")
+        if not np.all(np.isin(A, (-1, 1))):
+            raise ValueError("A must be an epsilon-matrix with entries in {-1, +1}")
+        S = np.asarray(S, dtype=np.int64).ravel()
+        if S.size != A.shape[0]:
+            raise ValueError(
+                f"S must have one entry per row of A: len(S)={S.size}, rows={A.shape[0]}"
+            )
+        if S.size and S.min() < 0:
+            raise ValueError("S must be a multiset of non-negative integers")
+        self.m, self.n = map(int, A.shape)
+        self.A = A.astype(np.int8)
+        # Row-major access to columns of A is the hot path of the delta
+        # evaluation; keep a contiguous transposed copy (cache friendliness,
+        # cf. the HPC guide on stride effects).
+        self._A32 = np.ascontiguousarray(A, dtype=np.int32)
+        self._At32 = np.ascontiguousarray(A.T, dtype=np.int32)
+        self.S = S
+        # Target histogram over the values 1..n (index v-1 counts rows with
+        # (A V)_j == v).  Values outside that range cannot occur for the
+        # planted secret.
+        if S.size and S.max() > self.n:
+            raise ValueError("S contains a value larger than n, inconsistent instance")
+        self.target_histogram = np.bincount(S, minlength=self.n + 1)[1:].astype(np.int64)
+        self.secret = None if secret is None else as_solution(secret, self.n)
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def generate(
+        cls,
+        m: int,
+        n: int,
+        rng: np.random.Generator | int | None = None,
+    ) -> "PermutedPerceptronProblem":
+        """Generate a random instance of size ``m x n`` with a planted secret."""
+        A, S, secret = generate_ppp_instance(m, n, rng)
+        return cls(A, S, secret=secret)
+
+    # ------------------------------------------------------------------
+    # Objective
+    # ------------------------------------------------------------------
+    def _products(self, solution: np.ndarray) -> np.ndarray:
+        V = (2 * solution.astype(np.int32) - 1)
+        return self._A32 @ V
+
+    def _fitness_from_products(self, Y: np.ndarray) -> float:
+        # |y| - y is 0 for y >= 0 and -2y for y < 0.
+        sign_term = SIGN_PENALTY_WEIGHT * 2 * int(np.minimum(Y, 0).sum() * -1)
+        hist = np.bincount(np.clip(Y, 0, self.n), minlength=self.n + 1)[1:]
+        hist_term = int(np.abs(hist - self.target_histogram).sum())
+        return float(sign_term + hist_term)
+
+    def evaluate(self, solution: np.ndarray) -> float:
+        solution = as_solution(solution, self.n)
+        return self._fitness_from_products(self._products(solution))
+
+    def evaluate_batch(self, solutions: np.ndarray) -> np.ndarray:
+        solutions = np.asarray(solutions, dtype=np.int8)
+        if solutions.ndim != 2 or solutions.shape[1] != self.n:
+            raise ValueError(f"expected a (batch, {self.n}) array, got {solutions.shape}")
+        V = 2 * solutions.astype(np.int32) - 1
+        Y = V @ self._A32.T  # (batch, m)
+        return self._fitness_from_products_batch(Y)
+
+    def _fitness_from_products_batch(self, Y: np.ndarray) -> np.ndarray:
+        batch = Y.shape[0]
+        sign_term = SIGN_PENALTY_WEIGHT * 2 * (-np.minimum(Y, 0)).sum(axis=1)
+        clipped = np.clip(Y, 0, self.n)
+        offsets = clipped + (np.arange(batch, dtype=np.int64)[:, None] * (self.n + 1))
+        counts = np.bincount(offsets.ravel(), minlength=batch * (self.n + 1))
+        counts = counts.reshape(batch, self.n + 1)[:, 1:]
+        hist_term = np.abs(counts - self.target_histogram[None, :]).sum(axis=1)
+        return (sign_term + hist_term).astype(np.float64)
+
+    # ------------------------------------------------------------------
+    # Incremental neighborhood evaluation (the GPU kernel's compute_fitness)
+    # ------------------------------------------------------------------
+    def evaluate_neighborhood(
+        self,
+        solution: np.ndarray,
+        moves: np.ndarray,
+        *,
+        chunk: int = 8_192,
+    ) -> np.ndarray:
+        """Delta evaluation of every neighbor reached by ``moves``.
+
+        Flipping bit ``p`` changes the epsilon value ``V_p`` by ``-2 V_p``,
+        hence the product vector by ``-2 A[:, p] V_p``; a k-bit move simply
+        accumulates k such column updates.  Each chunk of neighbors is then
+        scored with the same vectorized histogram arithmetic as
+        :meth:`evaluate_batch`.
+        """
+        solution = as_solution(solution, self.n)
+        moves = np.asarray(moves, dtype=np.int64)
+        if moves.ndim != 2:
+            raise ValueError(f"expected an (num_moves, k) move array, got {moves.shape}")
+        num_moves, k = moves.shape
+        V = 2 * solution.astype(np.int32) - 1
+        Y = self._A32 @ V  # (m,)
+        out = np.empty(num_moves, dtype=np.float64)
+        for start in range(0, num_moves, chunk):
+            stop = min(start + chunk, num_moves)
+            block = moves[start:stop]
+            delta = np.zeros((block.shape[0], self.m), dtype=np.int32)
+            for t in range(k):
+                cols = block[:, t]
+                # rows of A^T indexed by the flipped bit, scaled by its sign
+                delta += self._At32[cols] * V[cols][:, None]
+            Yn = Y[None, :] - 2 * delta
+            out[start:stop] = self._fitness_from_products_batch(Yn)
+        return out
+
+    # ------------------------------------------------------------------
+    # Metadata for the harness / timing model
+    # ------------------------------------------------------------------
+    def is_solution(self, fitness: float) -> bool:
+        return fitness == 0
+
+    def cost_profile(self, k: int = 1) -> dict[str, float]:
+        # Per neighbor: k column updates of length m (2 flops each), the sign
+        # term (2 flops/row) and the histogram accumulation + distance
+        # (~3 flops/row); memory traffic is dominated by reading k columns of
+        # A plus the current product vector.  The columns of A are read-only
+        # instance data and can be bound to the texture cache
+        # ("texture_bytes"), which is the optimisation the paper's Figure 8
+        # labels "GPUTexture".
+        flops = (2.0 * k + 5.0) * self.m
+        matrix_bytes = 4.0 * k * self.m
+        product_bytes = 4.0 * self.m
+        return {
+            "flops": flops,
+            "bytes": matrix_bytes + product_bytes,
+            "texture_bytes": matrix_bytes,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"PermutedPerceptronProblem(m={self.m}, n={self.n})"

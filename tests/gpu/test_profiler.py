@@ -1,0 +1,77 @@
+"""Tests for the kernel-launch profiler."""
+
+import numpy as np
+import pytest
+
+from repro.core import GPUEvaluator
+from repro.gpu import GPUContext, GTX_280, format_profile, profile
+from repro.neighborhoods import KHammingNeighborhood, TwoHammingNeighborhood
+from repro.problems import PermutedPerceptronProblem
+
+
+@pytest.fixture()
+def profiled_context():
+    """A context that ran a few iterations of two different kernels."""
+    problem = PermutedPerceptronProblem.generate(21, 21, rng=0)
+    context = GPUContext(GTX_280, keep_launch_records=True)
+    solution = problem.random_solution(0)
+    ev2 = GPUEvaluator(problem, TwoHammingNeighborhood(21), context=context)
+    ev3 = GPUEvaluator(problem, KHammingNeighborhood(21, 3), context=context)
+    for _ in range(3):
+        ev2.evaluate(solution)
+    ev3.evaluate(solution)
+    return context
+
+
+class TestProfileAggregation:
+    def test_per_kernel_launch_counts(self, profiled_context):
+        report = profile(profiled_context)
+        assert len(report.kernels) == 2
+        by_launches = sorted(k.launches for k in report.kernels.values())
+        assert by_launches == [1, 3]
+
+    def test_time_accounting_is_consistent(self, profiled_context):
+        report = profile(profiled_context)
+        stats = profiled_context.stats
+        assert report.total_kernel_time == pytest.approx(stats.kernel_time)
+        assert report.transfer_time == pytest.approx(stats.transfer_time)
+        assert report.total_time == pytest.approx(stats.total_time)
+        fractions = [report.fraction_of_time(name) for name in report.kernels]
+        assert 0.99 <= sum(fractions) + report.transfer_time / report.total_time <= 1.01
+
+    def test_larger_kernel_is_slower_per_launch(self, profiled_context):
+        report = profile(profiled_context)
+        three_h = next(name for name in report.kernels if "3-Hamming" in name)
+        two_h = next(name for name in report.kernels if "2-Hamming" in name)
+        # A 3-Hamming launch (1330 threads) costs more than a 2-Hamming one
+        # (210 threads) per launch.
+        per_launch_3 = report.kernels[three_h].kernel_time / report.kernels[three_h].launches
+        per_launch_2 = report.kernels[two_h].kernel_time / report.kernels[two_h].launches
+        assert per_launch_3 > per_launch_2
+
+    def test_occupancy_and_bound_are_populated(self, profiled_context):
+        report = profile(profiled_context)
+        for kernel in report.kernels.values():
+            assert 0 <= kernel.mean_occupancy <= 1
+            assert kernel.dominant_bound in ("memory", "compute")
+
+    def test_requires_launch_records(self):
+        problem = PermutedPerceptronProblem.generate(15, 15, rng=0)
+        context = GPUContext(GTX_280, keep_launch_records=False)
+        ev = GPUEvaluator(problem, TwoHammingNeighborhood(15), context=context)
+        ev.evaluate(problem.random_solution(0))
+        with pytest.raises(ValueError):
+            profile(context)
+
+    def test_empty_context_profiles_cleanly(self):
+        report = profile(GPUContext(GTX_280, keep_launch_records=True))
+        assert report.kernels == {}
+        assert report.total_time == 0.0
+
+
+class TestProfileFormatting:
+    def test_report_contains_kernel_rows_and_transfers(self, profiled_context):
+        text = format_profile(profile(profiled_context))
+        assert "MoveIncrEvalKernel" in text
+        assert "host<->device transfers" in text
+        assert "launches" in text.splitlines()[0]

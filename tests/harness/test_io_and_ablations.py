@@ -1,0 +1,76 @@
+"""Tests for result serialization and the ablation sweeps."""
+
+import numpy as np
+import pytest
+
+from repro.harness import (
+    block_size_ablation,
+    cpu_cores_ablation,
+    device_ablation,
+    figure_eight,
+    load_rows,
+    multi_gpu_ablation,
+    points_to_json,
+    rows_from_json,
+    rows_to_json,
+    run_ppp_experiment,
+    save_figure8,
+    save_rows,
+    texture_ablation,
+)
+
+
+class TestResultSerialization:
+    @pytest.fixture(scope="class")
+    def row(self):
+        return run_ppp_experiment((25, 25), 2, trials=2, max_iterations=20)
+
+    def test_json_roundtrip_preserves_aggregates(self, row):
+        restored = rows_from_json(rows_to_json([row]))[0]
+        assert restored.as_dict() == row.as_dict()
+        assert restored.instance == row.instance
+        assert len(restored.trials) == len(row.trials)
+
+    def test_save_and_load_files(self, row, tmp_path):
+        path = save_rows([row], tmp_path / "rows.json")
+        assert path.exists()
+        loaded = load_rows(path)
+        assert len(loaded) == 1
+        assert loaded[0].mean_fitness == row.mean_fitness
+
+    def test_figure8_serialization(self, tmp_path):
+        points = figure_eight("smoke", max_points=2)
+        payload = points_to_json(points)
+        assert len(payload) == 2 and payload[0]["instance"] == "101 x 117"
+        path = save_figure8(points, tmp_path / "fig8.json")
+        assert path.exists() and path.read_text().startswith("[")
+
+
+class TestAblations:
+    def test_block_size_ablation_covers_requested_sizes(self):
+        points = block_size_ablation(order=2, block_sizes=(64, 256))
+        assert [p.label for p in points] == ["block=64", "block=256"]
+        assert all(p.gpu_time > 0 and p.speedup > 0 for p in points)
+
+    def test_texture_ablation_never_slower(self):
+        points = texture_ablation(orders=(1, 2))
+        by_label = {p.label: p for p in points}
+        assert by_label["1-Hamming/texture"].gpu_time <= by_label["1-Hamming/global"].gpu_time
+        assert by_label["2-Hamming/texture"].gpu_time <= by_label["2-Hamming/global"].gpu_time * 1.0001
+
+    def test_device_ablation_orders_generations(self):
+        points = device_ablation(order=2)
+        by_label = {p.label: p.gpu_time for p in points}
+        # The G80-generation card is slower than the GTX 280 for the same kernel.
+        assert by_label["NVIDIA 8800 GTX (G80)"] > by_label["NVIDIA GTX 280"]
+
+    def test_multi_gpu_ablation_is_monotone(self):
+        points = multi_gpu_ablation(order=3, device_counts=(1, 2, 4))
+        times = [p.gpu_time for p in points]
+        assert times[0] > times[1] > times[2]
+
+    def test_cpu_cores_ablation_narrows_the_gap(self):
+        points = cpu_cores_ablation(order=3, core_counts=(1, 8))
+        assert points[0].speedup > points[1].speedup
+        # Even an 8-core CPU does not close the 3-Hamming gap in the model.
+        assert points[1].speedup > 1.0

@@ -1,0 +1,34 @@
+"""Tests for the multi-process trial runner of the experiment harness."""
+
+import pytest
+
+from repro.harness import run_ppp_experiment
+from repro.harness.experiment import _run_single_trial
+
+
+class TestParallelTrials:
+    def test_parallel_matches_serial(self):
+        kwargs = dict(trials=3, max_iterations=25)
+        serial = run_ppp_experiment((25, 25), 2, **kwargs)
+        parallel = run_ppp_experiment((25, 25), 2, n_jobs=2, **kwargs)
+        assert [t.fitness for t in parallel.trials] == [t.fitness for t in serial.trials]
+        assert [t.iterations for t in parallel.trials] == [t.iterations for t in serial.trials]
+        assert parallel.successes == serial.successes
+
+    def test_single_trial_worker_is_deterministic(self):
+        a = _run_single_trial((25, 25), 2, 20, None, seed=123, trial=0)
+        b = _run_single_trial((25, 25), 2, 20, None, seed=123, trial=0)
+        assert a.fitness == b.fitness and a.iterations == b.iterations
+
+    def test_invalid_n_jobs(self):
+        with pytest.raises(ValueError):
+            run_ppp_experiment((25, 25), 1, trials=1, max_iterations=5, n_jobs=0)
+
+    def test_custom_factory_rejected_in_parallel_mode(self):
+        from repro.core import GPUEvaluator
+
+        with pytest.raises(ValueError):
+            run_ppp_experiment(
+                (25, 25), 1, trials=2, max_iterations=5, n_jobs=2,
+                evaluator_factory=lambda p, nb: GPUEvaluator(p, nb),
+            )

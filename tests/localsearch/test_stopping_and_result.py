@@ -1,0 +1,99 @@
+"""Tests for stopping criteria and the LSResult record."""
+
+import numpy as np
+import pytest
+
+from repro.localsearch import (
+    AnyOf,
+    LSResult,
+    MaxEvaluations,
+    MaxIterations,
+    NoImprovement,
+    SearchState,
+    TargetFitness,
+    paper_stopping_criterion,
+)
+
+
+def make_state(iteration=0, evaluations=0, best_fitness=10.0, since=0):
+    return SearchState(
+        iteration=iteration,
+        evaluations=evaluations,
+        best_fitness=best_fitness,
+        iterations_since_improvement=since,
+    )
+
+
+class TestCriteria:
+    def test_max_iterations(self):
+        crit = MaxIterations(5)
+        assert crit.should_stop(make_state(iteration=4)) is None
+        assert crit.should_stop(make_state(iteration=5)) == "max_iterations"
+        with pytest.raises(ValueError):
+            MaxIterations(-1)
+
+    def test_target_fitness(self):
+        crit = TargetFitness(0.0)
+        assert crit.should_stop(make_state(best_fitness=0.5)) is None
+        assert crit.should_stop(make_state(best_fitness=0.0)) == "target_reached"
+
+    def test_max_evaluations(self):
+        crit = MaxEvaluations(100)
+        assert crit.should_stop(make_state(evaluations=99)) is None
+        assert crit.should_stop(make_state(evaluations=100)) == "max_evaluations"
+        with pytest.raises(ValueError):
+            MaxEvaluations(-5)
+
+    def test_no_improvement(self):
+        crit = NoImprovement(3)
+        assert crit.should_stop(make_state(since=2)) is None
+        assert crit.should_stop(make_state(since=3)) == "no_improvement"
+        with pytest.raises(ValueError):
+            NoImprovement(0)
+
+    def test_any_of(self):
+        crit = AnyOf(MaxIterations(10), TargetFitness(0.0))
+        assert crit.should_stop(make_state(iteration=3, best_fitness=5)) is None
+        assert crit.should_stop(make_state(iteration=3, best_fitness=0)) == "target_reached"
+        assert crit.should_stop(make_state(iteration=10, best_fitness=5)) == "max_iterations"
+        with pytest.raises(ValueError):
+            AnyOf()
+
+    def test_paper_stopping_criterion(self):
+        # n = 101: stops at fitness 0 or after 166650 iterations.
+        crit = paper_stopping_criterion(101)
+        assert crit.should_stop(make_state(iteration=166649, best_fitness=1)) is None
+        assert crit.should_stop(make_state(iteration=166650, best_fitness=1)) == "max_iterations"
+        assert crit.should_stop(make_state(iteration=0, best_fitness=0)) == "target_reached"
+
+
+class TestLSResult:
+    def test_summary_and_improvement(self):
+        result = LSResult(
+            best_solution=np.array([1, 0, 1]),
+            best_fitness=2.0,
+            iterations=7,
+            evaluations=21,
+            success=False,
+            stopping_reason="max_iterations",
+            simulated_time=0.5,
+            wall_time=0.01,
+            initial_fitness=9.0,
+        )
+        assert result.improvement == 7.0
+        assert "max_iterations" in result.summary()
+        assert result.best_solution.dtype == np.int8
+
+    def test_success_summary(self):
+        result = LSResult(
+            best_solution=np.zeros(4),
+            best_fitness=0.0,
+            iterations=3,
+            evaluations=12,
+            success=True,
+            stopping_reason="target_reached",
+            simulated_time=0.0,
+            wall_time=0.0,
+            initial_fitness=4.0,
+        )
+        assert result.summary().startswith("SUCCESS")

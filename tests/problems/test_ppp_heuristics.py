@@ -1,0 +1,90 @@
+"""Tests for the PPP construction heuristics (warm starts)."""
+
+import numpy as np
+import pytest
+
+from repro.core import CPUEvaluator
+from repro.localsearch import TabuSearch
+from repro.neighborhoods import KHammingNeighborhood
+from repro.problems import (
+    PermutedPerceptronProblem,
+    best_of_pool,
+    majority_vote_solution,
+    randomized_majority_solution,
+)
+
+
+@pytest.fixture(scope="module")
+def problem():
+    return PermutedPerceptronProblem.generate(51, 51, rng=7)
+
+
+class TestMajorityVote:
+    def test_returns_valid_solution(self, problem):
+        bits = majority_vote_solution(problem)
+        assert bits.shape == (problem.n,)
+        assert set(np.unique(bits)) <= {0, 1}
+
+    def test_beats_random_on_average(self, problem):
+        rng = np.random.default_rng(0)
+        random_fitness = np.mean(
+            [problem.evaluate(problem.random_solution(rng)) for _ in range(30)]
+        )
+        majority_fitness = problem.evaluate(majority_vote_solution(problem))
+        assert majority_fitness < random_fitness
+
+    def test_is_deterministic(self, problem):
+        a = majority_vote_solution(problem)
+        b = majority_vote_solution(problem)
+        assert np.array_equal(a, b)
+
+
+class TestRandomizedMajority:
+    def test_flip_probability_validation(self, problem):
+        with pytest.raises(ValueError):
+            randomized_majority_solution(problem, flip_probability=1.5)
+
+    def test_zero_probability_equals_majority(self, problem):
+        assert np.array_equal(
+            randomized_majority_solution(problem, rng=0, flip_probability=0.0),
+            majority_vote_solution(problem),
+        )
+
+    def test_different_seeds_decorrelate_runs(self, problem):
+        a = randomized_majority_solution(problem, rng=1, flip_probability=0.3)
+        b = randomized_majority_solution(problem, rng=2, flip_probability=0.3)
+        assert not np.array_equal(a, b)
+
+    def test_still_better_than_uniform_random_on_average(self, problem):
+        rng = np.random.default_rng(3)
+        random_fitness = np.mean(
+            [problem.evaluate(problem.random_solution(rng)) for _ in range(30)]
+        )
+        warm_fitness = np.mean(
+            [problem.evaluate(randomized_majority_solution(problem, rng=s)) for s in range(30)]
+        )
+        assert warm_fitness < random_fitness
+
+
+class TestBestOfPool:
+    def test_pool_size_validation(self, problem):
+        with pytest.raises(ValueError):
+            best_of_pool(problem, pool_size=0)
+
+    def test_no_worse_than_single_random(self, problem):
+        rng = np.random.default_rng(5)
+        pool_best = problem.evaluate(best_of_pool(problem, pool_size=64, rng=5))
+        singles = [problem.evaluate(problem.random_solution(rng)) for _ in range(20)]
+        assert pool_best <= np.median(singles)
+
+
+class TestWarmStartSpeedsUpSearch:
+    def test_tabu_search_with_warm_start_needs_fewer_iterations(self):
+        problem = PermutedPerceptronProblem.generate(25, 25, rng=11)
+        neighborhood = KHammingNeighborhood(25, 3)
+        search = TabuSearch(CPUEvaluator(problem, neighborhood), max_iterations=60)
+        cold = search.run(rng=4)
+        warm = search.run(initial_solution=randomized_majority_solution(problem, rng=4), rng=4)
+        # The warm start must not hurt, and usually converges in fewer iterations.
+        assert warm.best_fitness <= cold.best_fitness
+        assert warm.initial_fitness <= cold.initial_fitness

@@ -1,0 +1,81 @@
+"""Tests for the command-line interface (``python -m repro ...``)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+    def test_solve_defaults(self):
+        args = build_parser().parse_args(["solve"])
+        assert args.m == 73 and args.n == 73 and args.k == 2
+        assert args.platform == "gpu"
+
+
+class TestDevicesCommand:
+    def test_lists_presets(self, capsys):
+        assert main(["devices"]) == 0
+        out = capsys.readouterr().out
+        assert "GTX 280" in out
+        assert "Xeon" in out
+
+
+class TestMappingCommand:
+    def test_prints_mapping_table(self, capsys):
+        assert main(["mapping", "--n", "6", "--k", "2", "--limit", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "15 moves" in out
+        assert "thread    0 -> flip bits (0, 1)" in out
+        assert "more" in out  # truncation notice
+
+    def test_full_table_without_truncation(self, capsys):
+        assert main(["mapping", "--n", "5", "--k", "1", "--limit", "10"]) == 0
+        out = capsys.readouterr().out
+        assert "more" not in out
+
+
+class TestSolveCommand:
+    def test_solves_small_instance_on_gpu(self, capsys):
+        code = main(["solve", "--m", "25", "--n", "25", "--k", "3",
+                     "--iterations", "60", "--seed", "0"])
+        out = capsys.readouterr().out
+        assert "25 x 25 PPP" in out
+        assert "modeled acceleration" in out
+        assert code in (0, 1)
+
+    def test_cpu_and_multigpu_platforms(self, capsys):
+        for platform in ("cpu", "multi-gpu"):
+            code = main(["solve", "--m", "15", "--n", "15", "--k", "2",
+                         "--iterations", "40", "--platform", platform])
+            assert code in (0, 1)
+        out = capsys.readouterr().out
+        assert "platform: cpu" in out and "platform: multi-gpu" in out
+
+    def test_texture_flag(self, capsys):
+        code = main(["solve", "--m", "15", "--n", "15", "--k", "1",
+                     "--iterations", "20", "--texture"])
+        assert code in (0, 1)
+
+
+class TestTablesAndFigureCommands:
+    def test_tables_smoke_single_table(self, capsys):
+        assert main(["tables", "--scale", "smoke", "--table", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "Table I" in out
+        assert "Table II" not in out
+        assert "25 x 25" in out
+
+    def test_figure8_smoke_truncated(self, capsys):
+        assert main(["figure8", "--scale", "smoke", "--points", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 8" in out
+        assert "101 x 117" in out
+        assert "401 x 417" not in out
