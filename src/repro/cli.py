@@ -4,6 +4,8 @@
 any code:
 
 * ``tables``   — regenerate Tables I/II/III at a chosen scale;
+* ``experiment`` — run the multi-trial tabu protocol on one instance, with a
+  choice of trial execution mode (serial / parallel / batched lockstep);
 * ``figure8``  — regenerate the Figure 8 acceleration sweep;
 * ``solve``    — run one tabu search on a generated PPP instance;
 * ``devices``  — list the simulated device presets and their key parameters;
@@ -33,6 +35,30 @@ def build_parser() -> argparse.ArgumentParser:
     p_tables.add_argument("--scale", default="smoke", choices=("smoke", "reduced", "paper"))
     p_tables.add_argument("--table", type=int, choices=(1, 2, 3), action="append",
                           help="which table(s); default all")
+    p_tables.add_argument("--trial-mode", default="serial",
+                          choices=("serial", "parallel", "batched"),
+                          help="how the independent trials are executed")
+    p_tables.add_argument("--jobs", type=int, default=1,
+                          help="worker processes for --trial-mode parallel")
+
+    p_exp = sub.add_parser(
+        "experiment",
+        help="run the paper's multi-trial tabu protocol on one generated PPP instance",
+    )
+    p_exp.add_argument("--m", type=int, default=25, help="constraints (rows of A)")
+    p_exp.add_argument("--n", type=int, default=25, help="secret length (columns of A)")
+    p_exp.add_argument("--k", type=int, default=1, choices=(1, 2, 3), help="Hamming order")
+    p_exp.add_argument("--trials", type=int, default=50, help="independent runs (paper: 50)")
+    p_exp.add_argument("--iterations", type=int, default=None,
+                       help="iteration cap per trial (default: the paper's n(n-1)(n-2)/6)")
+    p_exp.add_argument("--trial-mode", default="batched",
+                       choices=("serial", "parallel", "batched"),
+                       help="serial loop, worker processes, or the lockstep batched engine")
+    p_exp.add_argument("--evaluator", default="cpu",
+                       choices=("cpu", "sequential", "gpu", "multi-gpu"),
+                       help="named evaluator spec used to run the trials")
+    p_exp.add_argument("--jobs", type=int, default=1,
+                       help="worker processes for --trial-mode parallel")
 
     p_fig = sub.add_parser("figure8", help="regenerate Figure 8 (acceleration vs instance size)")
     p_fig.add_argument("--scale", default="smoke", choices=("smoke", "reduced", "paper"))
@@ -68,16 +94,45 @@ def _cmd_tables(args) -> int:
 
     builders = {1: ("I", table_one), 2: ("II", table_two), 3: ("III", table_three)}
     scale = get_scale(args.scale)
-    print(f"scale: {scale.name} ({scale.trials} trials per instance)")
+    print(f"scale: {scale.name} ({scale.trials} trials per instance, "
+          f"{args.trial_mode} trial mode)")
     for index in args.table or [1, 2, 3]:
         numeral, builder = builders[index]
-        rows = builder(scale)
+        rows = builder(scale, trial_mode=args.trial_mode, n_jobs=args.jobs)
         print()
         print(format_experiment_table(
             rows,
             title=f"Table {numeral} ({scale.name} scale)",
             include_acceleration=(index != 1),
         ))
+    return 0
+
+
+def _cmd_experiment(args) -> int:
+    from .harness import format_time, run_ppp_experiment
+
+    n = args.n
+    max_iterations = args.iterations
+    if max_iterations is None:
+        max_iterations = n * (n - 1) * (n - 2) // 6
+    row = run_ppp_experiment(
+        (args.m, n),
+        args.k,
+        trials=args.trials,
+        max_iterations=max_iterations,
+        evaluator_factory=args.evaluator,
+        trial_mode=args.trial_mode,
+        n_jobs=args.jobs,
+    )
+    print(f"instance: {args.m} x {n} PPP, {args.k}-Hamming neighborhood, "
+          f"{args.trials} trials ({args.trial_mode} mode, {args.evaluator} evaluator)")
+    print(f"fitness: {row.mean_fitness:.2f} +/- {row.std_fitness:.2f}, "
+          f"successes: {row.successes}/{row.num_trials}, "
+          f"mean iterations: {row.mean_iterations:.1f}")
+    print(f"modeled CPU time {format_time(row.cpu_time)}, "
+          f"GPU time {format_time(row.gpu_time)} (x{row.acceleration:.1f})")
+    total_wall = sum(t.wall_time for t in row.trials)
+    print(f"wall time (sum over trials): {format_time(total_wall)}")
     return 0
 
 
@@ -146,6 +201,7 @@ def _cmd_mapping(args) -> int:
 
 _COMMANDS = {
     "tables": _cmd_tables,
+    "experiment": _cmd_experiment,
     "figure8": _cmd_figure8,
     "solve": _cmd_solve,
     "devices": _cmd_devices,

@@ -35,13 +35,18 @@ import numpy as np
 
 from ..gpu.device import GTX_280, XEON_3GHZ, DeviceSpec, HostSpec
 from ..gpu.hierarchy import DEFAULT_BLOCK_SIZE
-from ..gpu.kernel import ExecutionMode
+from ..gpu.kernel import ExecutionMode, Kernel
 from ..gpu.multi_device import MultiGPU
 from ..gpu.runtime import GPUContext
 from ..gpu.timing import GPUTimingModel, HostTimingModel
 from ..neighborhoods import Neighborhood
 from ..problems import BinaryProblem, as_solution
-from .kernels import build_neighborhood_kernel, kernel_cost_profile, mapping_flops
+from .kernels import (
+    build_batch_neighborhood_kernel,
+    build_neighborhood_kernel,
+    kernel_cost_profile,
+    mapping_flops,
+)
 
 __all__ = [
     "EvaluatorStats",
@@ -87,18 +92,59 @@ class NeighborhoodEvaluator(abc.ABC):
     def _evaluate(self, solution: np.ndarray, indices: np.ndarray) -> np.ndarray:
         """Platform-specific evaluation of the moves at the given flat indices."""
 
+    def _evaluate_many(self, solutions: np.ndarray, indices: np.ndarray) -> np.ndarray:
+        """Platform-specific batched evaluation; default replays the scalar path.
+
+        The fallback runs the single-solution path once per replica (so its
+        simulated time is exactly ``S`` sequential explorations); backends
+        with a native batched execution override it.
+        """
+        return np.stack([self._evaluate(solution, indices) for solution in solutions])
+
+    def _check_indices(self, indices: np.ndarray | None) -> np.ndarray:
+        if indices is None:
+            return np.arange(self.neighborhood.size, dtype=np.int64)
+        indices = np.asarray(indices, dtype=np.int64)
+        if indices.size and (indices.min() < 0 or indices.max() >= self.neighborhood.size):
+            raise IndexError("neighborhood index out of range")
+        return indices
+
     def evaluate(self, solution: np.ndarray, indices: np.ndarray | None = None) -> np.ndarray:
         """Fitness of the neighbors at ``indices`` (default: the whole neighborhood)."""
         solution = as_solution(solution, self.problem.n)
-        if indices is None:
-            indices = np.arange(self.neighborhood.size, dtype=np.int64)
-        else:
-            indices = np.asarray(indices, dtype=np.int64)
-            if indices.size and (indices.min() < 0 or indices.max() >= self.neighborhood.size):
-                raise IndexError("neighborhood index out of range")
+        indices = self._check_indices(indices)
         fitnesses = self._evaluate(solution, indices)
         self.stats.calls += 1
         self.stats.evaluations += int(indices.size)
+        return fitnesses
+
+    def evaluate_many(
+        self, solutions: np.ndarray, indices: np.ndarray | None = None
+    ) -> np.ndarray:
+        """Neighborhood fitnesses of a whole ``(S, n)`` block of solutions.
+
+        Returns an ``(S, M)`` matrix: row ``s`` is exactly what
+        :meth:`evaluate` would return for ``solutions[s]``.  This is the
+        entry point of the solution-parallel execution engine: backends that
+        can batch (the CPU vectorized path, the GPU's single ``S x M``-thread
+        launch) amortize per-call overheads — transfers, kernel launches,
+        Python dispatch — across all replicas.
+        """
+        solutions = np.asarray(solutions, dtype=np.int8)
+        if solutions.ndim == 1:
+            solutions = solutions[None, :]
+        if solutions.ndim != 2 or solutions.shape[1] != self.problem.n:
+            raise ValueError(
+                f"expected an (S, {self.problem.n}) solution block, got {solutions.shape}"
+            )
+        if solutions.size and not np.all((solutions == 0) | (solutions == 1)):
+            raise ValueError("solution block must contain only 0/1 values")
+        indices = self._check_indices(indices)
+        if solutions.shape[0] == 0:
+            return np.empty((0, indices.size), dtype=np.float64)
+        fitnesses = self._evaluate_many(solutions, indices)
+        self.stats.calls += 1
+        self.stats.evaluations += solutions.shape[0] * int(indices.size)
         return fitnesses
 
     def reset_stats(self) -> None:
@@ -170,6 +216,16 @@ class CPUEvaluator(_HostModelMixin, NeighborhoodEvaluator):
         self._account_host_time(indices.size)
         return np.asarray(fitnesses, dtype=np.float64)
 
+    def _evaluate_many(self, solutions: np.ndarray, indices: np.ndarray) -> np.ndarray:
+        # One broadcast delta evaluation for the whole (S, n) block; the
+        # modeled time still charges the sequential baseline for all S * M
+        # evaluations (one per-call overhead instead of S — the batched
+        # path's bookkeeping amortization).
+        moves = self.neighborhood.moves(indices)
+        fitnesses = self.problem.evaluate_neighborhood_batch(solutions, moves)
+        self._account_host_time(solutions.shape[0] * indices.size)
+        return np.asarray(fitnesses, dtype=np.float64)
+
 
 class GPUEvaluator(NeighborhoodEvaluator):
     """Evaluator running the neighborhood kernel on one simulated GPU."""
@@ -194,22 +250,48 @@ class GPUEvaluator(NeighborhoodEvaluator):
         self.kernel = build_neighborhood_kernel(
             problem, neighborhood, use_texture=self.use_texture_memory
         )
+        self.batch_kernel = build_batch_neighborhood_kernel(
+            problem, neighborhood, use_texture=self.use_texture_memory
+        )
         # Persistent device-side fitness buffer, allocated once (as a real
         # implementation would) and reused across iterations.
         self._fitness_buffer = self.context.alloc(
             f"fitnesses:{id(self)}", (neighborhood.size,), np.float64
         )
+        # Geometry of the last batched call (the device-side solution block
+        # and fitness buffer are reallocated when the number of in-flight
+        # replicas changes).
+        self._solutions_shape: tuple[int, int] | None = None
+        self._batch_fitness_size: int | None = None
+
+    def _is_canonical_full(self, indices: np.ndarray) -> bool:
+        """Whether ``indices`` is exactly ``0, 1, ..., size - 1`` in order.
+
+        A mere *permutation* of the full range must NOT take the full-
+        neighborhood fast path: the kernel writes fitnesses in canonical
+        order, which would silently ignore the caller's requested ordering.
+        """
+        return (
+            indices.size == self.neighborhood.size
+            and (
+                indices.size == 0
+                or (indices[0] == 0 and bool(np.all(np.diff(indices) == 1)))
+            )
+        )
+
+    def _account_d2h(self, context: GPUContext, num_fitnesses: int) -> None:
+        # Device -> host: the fitness array, for host-side move selection.
+        # The buffer is float64, so 8 bytes per entry cross PCIe.
+        d2h_bytes = 8.0 * num_fitnesses
+        context.stats.transfer_time += context.timing.transfer_time(d2h_bytes)
+        context.stats.d2h_bytes += int(d2h_bytes)
 
     def _evaluate(self, solution: np.ndarray, indices: np.ndarray) -> np.ndarray:
         before = self.context.stats.total_time
         # Host -> device: the candidate solution (int32, as in the paper's kernels).
         self.context.to_device(f"solution:{id(self)}", solution.astype(np.int32))
         fitnesses = self._fitness_buffer.data
-        full = (
-            indices.size == self.neighborhood.size
-            and (indices.size == 0 or (indices[0] == 0 and indices[-1] == indices.size - 1))
-        )
-        if full:
+        if self._is_canonical_full(indices):
             # Full neighborhood: one thread per neighbor, exactly the paper's launch.
             self.context.launch(
                 self.kernel,
@@ -227,8 +309,6 @@ class GPUEvaluator(NeighborhoodEvaluator):
                 moves = self.neighborhood.mapping.from_flat_batch(indices[tids])
                 out[tids] = self.problem.evaluate_neighborhood(solution_arr, moves)
 
-            from ..gpu.kernel import Kernel  # local import to avoid cycle at module load
-
             sub_kernel = Kernel(
                 name=self.kernel.name + "[slice]",
                 vectorized_fn=vectorized_fn,
@@ -241,12 +321,63 @@ class GPUEvaluator(NeighborhoodEvaluator):
                 block_size=self.block_size,
             )
             result = sub_fitnesses
-        # Device -> host: the fitness array, for host-side move selection.
-        d2h_bytes = 4.0 * indices.size
-        self.context.stats.transfer_time += self.context.timing.transfer_time(d2h_bytes)
-        self.context.stats.d2h_bytes += int(d2h_bytes)
+        self._account_d2h(self.context, indices.size)
         self.stats.simulated_time += self.context.stats.total_time - before
         return result
+
+    def _evaluate_many(self, solutions: np.ndarray, indices: np.ndarray) -> np.ndarray:
+        """Solution-parallel evaluation: one ``S x M``-thread launch.
+
+        The ``(S, n)`` solution block crosses PCIe once and a single kernel
+        launch covers every (replica, neighbor) pair, so the fixed transfer
+        latency and launch overhead are paid once instead of ``S`` times —
+        the core amortization of the batched execution engine.
+        """
+        before = self.context.stats.total_time
+        num_solutions, num_indices = solutions.shape[0], indices.size
+        # Host -> device: the whole solution block, uploaded once.
+        name = f"solutions:{id(self)}"
+        if self._solutions_shape is not None and self._solutions_shape != solutions.shape:
+            self.context.free(name)
+        self._solutions_shape = solutions.shape
+        self.context.to_device(name, solutions.astype(np.int32))
+        # Device-side output buffer for all S * M fitness values, resized
+        # (like the solution block) when the batch geometry changes so the
+        # device-memory model sees the batched launch's largest allocation.
+        buffer_name = f"batch_fitnesses:{id(self)}"
+        flat_size = num_solutions * num_indices
+        if self._batch_fitness_size not in (None, flat_size):
+            self.context.free(buffer_name)
+        if self._batch_fitness_size != flat_size:
+            self.context.alloc(buffer_name, (flat_size,), np.float64)
+            self._batch_fitness_size = flat_size
+        flat = self.context.memory.get(buffer_name).data
+        if self._is_canonical_full(indices):
+            kernel = self.batch_kernel
+        else:
+            # Compacted index list: same batched launch over the (S, M_sub)
+            # logical space, with the move list fixed by the caller.
+            moves = self.neighborhood.moves(indices)
+
+            def vectorized_fn(tids, solutions_arr, out):
+                batch = self.problem.evaluate_neighborhood_batch(solutions_arr, moves)
+                out[tids] = batch.reshape(-1)[tids]
+
+            kernel = Kernel(
+                name=self.batch_kernel.name + "[slice]",
+                vectorized_fn=vectorized_fn,
+                cost=self.batch_kernel.cost,
+            )
+        self.context.launch(
+            kernel,
+            (num_solutions, num_indices),
+            (solutions, flat),
+            block_size=self.block_size,
+        )
+        self._account_d2h(self.context, flat.size)
+        self.stats.simulated_time += self.context.stats.total_time - before
+        # Copy: the persistent device buffer is overwritten by the next call.
+        return flat.reshape(num_solutions, num_indices).copy()
 
     @property
     def simulated_time(self) -> float:
@@ -279,6 +410,9 @@ class MultiGPUEvaluator(NeighborhoodEvaluator):
             )
             for ctx in self.pool.contexts
         ]
+        # Per-device shape of the last uploaded solution slice (the buffers
+        # are reallocated when a device's share of the batch changes).
+        self._device_upload_shapes: dict[int, tuple[int, int]] = {}
 
     @property
     def num_devices(self) -> int:
@@ -300,3 +434,59 @@ class MultiGPUEvaluator(NeighborhoodEvaluator):
         # Devices run concurrently: the step costs as much as the slowest one.
         self.stats.simulated_time += max(per_device_times) if per_device_times else 0.0
         return out
+
+    def _evaluate_many(self, solutions: np.ndarray, indices: np.ndarray) -> np.ndarray:
+        """Partition the flat ``S x M`` (replica, neighbor) space across devices.
+
+        Each device receives a contiguous slice of the flattened batch (it
+        may span several replicas), uploads only the solution rows that
+        slice touches and runs one launch; the step's elapsed simulated time
+        is the slowest device's, as the devices run concurrently.
+        """
+        num_solutions, num_indices = solutions.shape[0], indices.size
+        flat_total = num_solutions * num_indices
+        out = np.empty(flat_total, dtype=np.float64)
+        per_device_times = []
+        mapping = self.neighborhood.mapping
+        for evaluator, part in zip(self._sub_evaluators, self.pool.partitions(flat_total)):
+            if part.size == 0:
+                per_device_times.append(0.0)
+                continue
+            context = evaluator.context
+            before = context.stats.total_time
+            flat_ids = np.arange(part.start, part.stop, dtype=np.int64)
+            replica_ids = flat_ids // num_indices
+            neighbor_ids = indices[flat_ids % num_indices]
+            replica_lo = int(replica_ids[0])
+            block = solutions[replica_lo : int(replica_ids[-1]) + 1]
+            name = f"solutions:{id(self)}:{part.device_index}"
+            previous = self._device_upload_shapes.get(part.device_index)
+            if previous is not None and previous != block.shape:
+                context.free(name)
+            self._device_upload_shapes[part.device_index] = block.shape
+            context.to_device(name, block.astype(np.int32))
+            sub_out = np.empty(part.size, dtype=np.float64)
+            local_replicas = replica_ids - replica_lo
+
+            def vectorized_fn(tids, solutions_arr, out_arr,
+                              local_replicas=local_replicas, neighbor_ids=neighbor_ids):
+                for replica in np.unique(local_replicas[tids]):
+                    mask = local_replicas[tids] == replica
+                    moves = mapping.from_flat_batch(neighbor_ids[tids][mask])
+                    out_arr[tids[mask]] = self.problem.evaluate_neighborhood(
+                        solutions_arr[replica], moves
+                    )
+
+            slice_kernel = Kernel(
+                name=evaluator.batch_kernel.name + f"[slice:{part.device_index}]",
+                vectorized_fn=vectorized_fn,
+                cost=evaluator.batch_kernel.cost,
+            )
+            context.launch(
+                slice_kernel, part.size, (block, sub_out), block_size=self.block_size
+            )
+            evaluator._account_d2h(context, part.size)
+            per_device_times.append(context.stats.total_time - before)
+            out[part.start : part.stop] = sub_out
+        self.stats.simulated_time += max(per_device_times) if per_device_times else 0.0
+        return out.reshape(num_solutions, num_indices)

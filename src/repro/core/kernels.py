@@ -19,7 +19,12 @@ from ..gpu.timing import KernelCostProfile
 from ..neighborhoods import Neighborhood
 from ..problems import BinaryProblem
 
-__all__ = ["build_neighborhood_kernel", "mapping_flops", "kernel_cost_profile"]
+__all__ = [
+    "build_neighborhood_kernel",
+    "build_batch_neighborhood_kernel",
+    "mapping_flops",
+    "kernel_cost_profile",
+]
 
 #: Approximate arithmetic cost of the thread-id -> move transformation, per
 #: thread, by Hamming order: the identity, the closed form with one square
@@ -93,6 +98,60 @@ def build_neighborhood_kernel(
 
     return Kernel(
         name=f"MoveIncrEvalKernel<{problem.name},{neighborhood.order}-Hamming>",
+        thread_fn=thread_fn,
+        vectorized_fn=vectorized_fn,
+        cost=kernel_cost_profile(problem, neighborhood.order, use_texture=use_texture),
+    )
+
+
+def build_batch_neighborhood_kernel(
+    problem: BinaryProblem,
+    neighborhood: Neighborhood,
+    *,
+    use_texture: bool = False,
+) -> Kernel:
+    """Solution-parallel generalization of the paper's evaluation kernel.
+
+    One thread per (replica, neighbor) pair over a logical ``(S, M)`` work
+    shape: thread ``t`` evaluates neighbor ``t % M`` of solution ``t // M``.
+    The kernel's ``args`` tuple is ``(solutions, fitnesses)`` where
+    ``solutions`` is the ``(S, n)`` block of current candidates and
+    ``fitnesses`` a flat array of ``S * M`` output slots.  The per-thread
+    cost profile is identical to the single-solution kernel — batching
+    multiplies the thread count, not the per-thread work — which is exactly
+    why the launch amortizes its fixed overhead over ``S`` replicas.
+    """
+    mapping = neighborhood.mapping
+    size = neighborhood.size
+
+    def thread_fn(ctx: ThreadContext, solutions: np.ndarray, fitnesses: np.ndarray) -> None:
+        # The paper's kernel with a second logical axis:
+        #   int tid = blockIdx.x * blockDim.x + threadIdx.x;
+        #   int replica = tid / M, move_index = tid % M;
+        #   if (replica < S) new_fitness[tid] = compute_fitness(V[replica], move...);
+        tid = ctx.global_id
+        replica, move_index = divmod(tid, size)
+        if replica < solutions.shape[0]:
+            move = mapping.from_flat(move_index)
+            fitnesses[tid] = problem.delta_evaluate(solutions[replica], move)
+
+    def vectorized_fn(tids: np.ndarray, solutions: np.ndarray, fitnesses: np.ndarray) -> None:
+        num_solutions = solutions.shape[0]
+        if tids.size == num_solutions * size and tids.size:
+            # Full batch: one broadcast delta evaluation over all replicas.
+            moves = mapping.from_flat_batch(np.arange(size, dtype=np.int64))
+            fitnesses[tids] = problem.evaluate_neighborhood_batch(solutions, moves).ravel()
+            return
+        # Partial coverage (e.g. a multi-device slice of the flat index
+        # space): evaluate each replica's contiguous run of neighbors.
+        replicas = tids // size
+        for replica in np.unique(replicas):
+            mask = replicas == replica
+            moves = mapping.from_flat_batch(tids[mask] % size)
+            fitnesses[tids[mask]] = problem.evaluate_neighborhood(solutions[replica], moves)
+
+    return Kernel(
+        name=f"BatchMoveIncrEvalKernel<{problem.name},{neighborhood.order}-Hamming>",
         thread_fn=thread_fn,
         vectorized_fn=vectorized_fn,
         cost=kernel_cost_profile(problem, neighborhood.order, use_texture=use_texture),

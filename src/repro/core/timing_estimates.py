@@ -79,8 +79,9 @@ def iteration_times(
     # Host -> device: the candidate solution (n bytes as int8 or 4n as int32;
     # we charge 4 bytes per element as the paper's int vector).
     h2d = gpu_model.transfer_time(4.0 * problem.n)
-    # Device -> host: the fitness array (one float per neighbor).
-    d2h = gpu_model.transfer_time(4.0 * size)
+    # Device -> host: the fitness array (one float64 per neighbor, matching
+    # the dtype of the evaluators' device fitness buffer).
+    d2h = gpu_model.transfer_time(8.0 * size)
     return IterationTimes(
         cpu_time=cpu_time,
         gpu_kernel_time=breakdown.kernel_time,

@@ -18,7 +18,7 @@ from .device import (
     get_device,
 )
 from .hierarchy import DEFAULT_BLOCK_SIZE, Dim3, LaunchConfig, ThreadIndex, grid_for
-from .kernel import ExecutionMode, Kernel, KernelLaunch, ThreadContext
+from .kernel import ExecutionMode, Kernel, KernelLaunch, ThreadContext, normalize_work
 from .memory import DeviceBuffer, MemoryManager, MemorySpace, OutOfDeviceMemory, TransferRecord
 from .multi_device import MultiGPU, Partition, partition_range
 from .occupancy import OccupancyResult, occupancy
@@ -44,6 +44,7 @@ __all__ = [
     "Kernel",
     "KernelLaunch",
     "ThreadContext",
+    "normalize_work",
     "MemorySpace",
     "DeviceBuffer",
     "MemoryManager",

@@ -26,7 +26,27 @@ import numpy as np
 from .hierarchy import DEFAULT_BLOCK_SIZE, LaunchConfig, ThreadIndex, grid_for
 from .timing import KernelCostProfile, KernelTimeBreakdown
 
-__all__ = ["ExecutionMode", "Kernel", "KernelLaunch", "ThreadContext"]
+__all__ = ["ExecutionMode", "Kernel", "KernelLaunch", "ThreadContext", "normalize_work"]
+
+
+def normalize_work(work: int | tuple[int, ...]) -> tuple[int, tuple[int, ...]]:
+    """Coerce a thread count or logical work shape to ``(total, shape)``.
+
+    A plain integer ``M`` is the paper's 1-D launch (one thread per
+    neighbor); a tuple such as ``(S, M)`` describes a batched launch over
+    ``S`` replicas of ``M`` neighbors — the total thread count is the
+    product and the shape is preserved for launch records and profiling.
+    """
+    if isinstance(work, tuple):
+        if not work or any(int(axis) <= 0 for axis in work):
+            raise ValueError(f"work shape extents must all be positive, got {work!r}")
+        shape = tuple(int(axis) for axis in work)
+        total = 1
+        for axis in shape:
+            total *= axis
+        return total, shape
+    total = int(work)
+    return total, (total,)
 
 
 class ExecutionMode(enum.Enum):
@@ -59,6 +79,19 @@ class KernelLaunch:
     active_threads: int
     time: KernelTimeBreakdown
     mode: ExecutionMode
+    #: Logical shape of the work the threads covered.  ``(M,)`` for the
+    #: paper's one-thread-per-neighbor launches; ``(S, M)`` for the batched
+    #: solution-parallel launches (one thread per (replica, neighbor) pair).
+    work_shape: tuple[int, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.work_shape:
+            self.work_shape = (self.active_threads,)
+
+    @property
+    def batch_size(self) -> int:
+        """Number of independent replicas covered by the launch (1 if unbatched)."""
+        return self.work_shape[0] if len(self.work_shape) > 1 else 1
 
 
 class Kernel:
@@ -97,10 +130,15 @@ class Kernel:
 
     # ------------------------------------------------------------------
     def launch_config(
-        self, active_threads: int, block_size: int = DEFAULT_BLOCK_SIZE
+        self, active_threads: int | tuple[int, ...], block_size: int = DEFAULT_BLOCK_SIZE
     ) -> LaunchConfig:
-        """One thread per logical work item, rounded up to whole blocks."""
-        return grid_for(active_threads, block_size)
+        """One thread per logical work item, rounded up to whole blocks.
+
+        ``active_threads`` may be a multi-dimensional logical work shape
+        (e.g. ``(S, M)`` replicas x neighbors); the grid covers its product.
+        """
+        total, _ = normalize_work(active_threads)
+        return grid_for(total, block_size)
 
     def execute(
         self,

@@ -28,6 +28,11 @@ class KernelProfile:
     total_threads: int = 0
     memory_bound_launches: int = 0
     occupancy_sum: float = 0.0
+    #: Launches whose logical work shape had more than one dimension (the
+    #: solution-parallel ``(S, M)`` batches).
+    batched_launches: int = 0
+    #: Largest replica count seen in a batched launch (1 if never batched).
+    max_batch: int = 1
 
     @property
     def mean_time(self) -> float:
@@ -93,6 +98,9 @@ def profile(context_or_stats: GPUContext | DeviceStats) -> ProfileReport:
         entry.occupancy_sum += record.time.occupancy.occupancy
         if record.time.bound == "memory":
             entry.memory_bound_launches += 1
+        if len(record.work_shape) > 1:
+            entry.batched_launches += 1
+        entry.max_batch = max(entry.max_batch, record.batch_size)
     return report
 
 
@@ -100,14 +108,15 @@ def format_profile(report: ProfileReport) -> str:
     """Render the report as a fixed-width text table (one row per kernel)."""
     lines = [
         f"{'kernel':<58} {'launches':>8} {'time':>12} {'%':>6} {'avg':>12} "
-        f"{'occ':>5} {'bound':>8}"
+        f"{'occ':>5} {'bound':>8} {'batch':>6}"
     ]
     for name in sorted(report.kernels, key=lambda n: -report.kernels[n].total_time):
         k = report.kernels[name]
+        batch = f"x{k.max_batch}" if k.batched_launches else "-"
         lines.append(
             f"{name[:58]:<58} {k.launches:>8d} {k.total_time:>11.4f}s "
             f"{100 * report.fraction_of_time(name):>5.1f}% {k.mean_time * 1e3:>10.3f}ms "
-            f"{k.mean_occupancy:>5.2f} {k.dominant_bound:>8}"
+            f"{k.mean_occupancy:>5.2f} {k.dominant_bound:>8} {batch:>6}"
         )
     lines.append(
         f"{'host<->device transfers':<58} {'':>8} {report.transfer_time:>11.4f}s "

@@ -16,7 +16,7 @@ import numpy as np
 
 from .device import DeviceSpec, GTX_280
 from .hierarchy import DEFAULT_BLOCK_SIZE, LaunchConfig
-from .kernel import ExecutionMode, Kernel, KernelLaunch
+from .kernel import ExecutionMode, Kernel, KernelLaunch, normalize_work
 from .memory import MemoryManager, MemorySpace
 from .timing import GPUTimingModel, KernelCostProfile
 
@@ -109,7 +109,7 @@ class GPUContext:
     def launch(
         self,
         kernel: Kernel,
-        active_threads: int,
+        active_threads: int | tuple[int, ...],
         args,
         *,
         block_size: int = DEFAULT_BLOCK_SIZE,
@@ -118,27 +118,34 @@ class GPUContext:
     ) -> KernelLaunch:
         """Execute ``kernel`` over ``active_threads`` logical work items.
 
-        Functional results are written into the arrays in ``args``; the
-        simulated execution time is added to :attr:`stats`.
+        ``active_threads`` is either a plain thread count (the paper's 1-D
+        one-thread-per-neighbor launch) or a logical work shape such as
+        ``(S, M)`` for a solution-parallel batch of ``S`` replicas — the
+        launch then covers the product and the shape is recorded so the
+        profiler can attribute the time to a batched launch.  Functional
+        results are written into the arrays in ``args``; the simulated
+        execution time is added to :attr:`stats`.
         """
-        if active_threads <= 0:
+        total_active, work_shape = normalize_work(active_threads)
+        if total_active <= 0:
             raise ValueError(f"active_threads must be positive, got {active_threads}")
-        cfg = config if config is not None else kernel.launch_config(active_threads, block_size)
-        if cfg.total_threads < active_threads:
+        cfg = config if config is not None else kernel.launch_config(total_active, block_size)
+        if cfg.total_threads < total_active:
             raise ValueError(
                 f"launch configuration provides {cfg.total_threads} threads but "
-                f"{active_threads} are required"
+                f"{total_active} are required"
             )
-        kernel.execute(cfg, args, active_threads=active_threads, mode=self.mode)
+        kernel.execute(cfg, args, active_threads=total_active, mode=self.mode)
         breakdown = self.timing.kernel_time(
-            cfg, cost if cost is not None else kernel.cost, active_threads=active_threads
+            cfg, cost if cost is not None else kernel.cost, active_threads=total_active
         )
         record = KernelLaunch(
             kernel_name=kernel.name,
             config=cfg,
-            active_threads=active_threads,
+            active_threads=total_active,
             time=breakdown,
             mode=self.mode,
+            work_shape=work_shape,
         )
         self.stats.kernel_launches += 1
         self.stats.kernel_time += breakdown.total_time

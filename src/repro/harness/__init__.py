@@ -9,7 +9,15 @@ from .ablations import (
     texture_ablation,
 )
 from .config import PAPER, REDUCED, SMOKE, ExperimentScale, get_scale
-from .experiment import ExperimentRow, TrialRecord, run_ppp_experiment, scale_experiment_rows
+from .experiment import (
+    EVALUATOR_SPECS,
+    TRIAL_MODES,
+    ExperimentRow,
+    TrialRecord,
+    resolve_evaluator_factory,
+    run_ppp_experiment,
+    scale_experiment_rows,
+)
 from .figures import PAPER_FIGURE8_REFERENCE, Figure8Point, figure_eight
 from .io import load_rows, points_to_json, rows_from_json, rows_to_json, save_figure8, save_rows
 from .reporting import (
@@ -42,6 +50,9 @@ __all__ = [
     "TrialRecord",
     "run_ppp_experiment",
     "scale_experiment_rows",
+    "EVALUATOR_SPECS",
+    "TRIAL_MODES",
+    "resolve_evaluator_factory",
     "table_one",
     "table_two",
     "table_three",

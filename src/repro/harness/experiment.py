@@ -14,15 +14,64 @@ from typing import Sequence
 
 import numpy as np
 
-from ..core.evaluators import CPUEvaluator, NeighborhoodEvaluator
+from ..core.evaluators import (
+    CPUEvaluator,
+    GPUEvaluator,
+    MultiGPUEvaluator,
+    NeighborhoodEvaluator,
+    SequentialEvaluator,
+)
 from ..core.timing_estimates import iteration_times
+from ..localsearch.multistart import MultiStartRunner
 from ..localsearch.tabu import TabuSearch
 from ..neighborhoods import KHammingNeighborhood
 from ..problems import PermutedPerceptronProblem
 from ..problems.instances import PPPInstanceSpec, instance_seed, make_table_instance
 from .config import ExperimentScale
 
-__all__ = ["TrialRecord", "ExperimentRow", "run_ppp_experiment"]
+__all__ = [
+    "TrialRecord",
+    "ExperimentRow",
+    "run_ppp_experiment",
+    "EVALUATOR_SPECS",
+    "resolve_evaluator_factory",
+    "TRIAL_MODES",
+]
+
+#: Trial execution strategies of :func:`run_ppp_experiment`: one search at a
+#: time, one worker process per trial, or all trials advanced in lockstep
+#: through one batched evaluator.
+TRIAL_MODES = ("serial", "parallel", "batched")
+
+#: Named evaluator factories.  Names (unlike arbitrary callables) can be
+#: shipped to worker processes and rebuilt there, which is what lets the
+#: parallel trial runner support every platform.
+EVALUATOR_SPECS = {
+    "cpu": lambda problem, neighborhood: CPUEvaluator(problem, neighborhood),
+    "sequential": lambda problem, neighborhood: SequentialEvaluator(problem, neighborhood),
+    "gpu": lambda problem, neighborhood: GPUEvaluator(problem, neighborhood),
+    "multi-gpu": lambda problem, neighborhood: MultiGPUEvaluator(problem, neighborhood),
+}
+
+
+def resolve_evaluator_factory(spec):
+    """Turn an evaluator spec (name, callable or ``None``) into a factory.
+
+    ``None`` selects the default vectorized CPU evaluator; a string is looked
+    up in :data:`EVALUATOR_SPECS`; a callable is returned unchanged.
+    """
+    if spec is None:
+        return EVALUATOR_SPECS["cpu"]
+    if isinstance(spec, str):
+        try:
+            return EVALUATOR_SPECS[spec]
+        except KeyError:
+            raise ValueError(
+                f"unknown evaluator spec {spec!r}; expected one of {sorted(EVALUATOR_SPECS)}"
+            ) from None
+    if callable(spec):
+        return spec
+    raise TypeError(f"evaluator spec must be a name, a callable or None, got {type(spec)}")
 
 
 @dataclass(frozen=True)
@@ -110,17 +159,20 @@ def _run_single_trial(
     tenure: int | None,
     seed: int,
     trial: int,
+    evaluator: str = "cpu",
 ) -> TrialRecord:
     """Worker executing one tabu-search trial (used by the parallel runner).
 
-    Rebuilds the instance and the search from scratch so the function is
-    self-contained and picklable; determinism is guaranteed by the seeds.
+    Rebuilds the instance, the evaluator (from its picklable *name*) and the
+    search from scratch so the function is self-contained; determinism is
+    guaranteed by the seeds.
     """
     m, n = spec
     problem = make_table_instance(PPPInstanceSpec(m, n), trial=0)
     neighborhood = KHammingNeighborhood(problem.n, order)
+    factory = resolve_evaluator_factory(evaluator)
     search = TabuSearch(
-        CPUEvaluator(problem, neighborhood), tenure=tenure, max_iterations=max_iterations
+        factory(problem, neighborhood), tenure=tenure, max_iterations=max_iterations
     )
     result = search.run(rng=seed)
     return TrialRecord(
@@ -143,6 +195,7 @@ def run_ppp_experiment(
     base_seed: int | None = None,
     track_history: bool = False,
     n_jobs: int = 1,
+    trial_mode: str = "serial",
 ) -> ExperimentRow:
     """Run the paper's tabu-search protocol on one instance and one neighborhood.
 
@@ -159,17 +212,32 @@ def run_ppp_experiment(
     tenure:
         Tabu tenure; defaults to the paper's ``|N| / 6`` rule.
     evaluator_factory:
-        Callable ``(problem, neighborhood) -> NeighborhoodEvaluator``;
+        Either a named evaluator spec (one of :data:`EVALUATOR_SPECS`:
+        ``"cpu"``, ``"sequential"``, ``"gpu"``, ``"multi-gpu"``) or a
+        callable ``(problem, neighborhood) -> NeighborhoodEvaluator``;
         defaults to the vectorized CPU evaluator (all evaluators are
-        functionally identical, so the choice only affects wall-clock time).
+        functionally identical, so the choice only affects wall-clock
+        time).  Parallel mode accepts only *named* specs, because the
+        worker processes must rebuild the evaluator from a picklable
+        description.
     base_seed:
         Base RNG seed; each trial uses a distinct derived seed.
     n_jobs:
-        Number of worker processes used to run the trials.  Trials are
-        independent (that is the whole point of the paper's 50-run
-        protocol), so they parallelise trivially across host cores; results
-        are identical to the serial run for any ``n_jobs``.  Only the
-        default evaluator is supported in parallel mode.
+        Number of worker processes for ``trial_mode="parallel"``.  Passing
+        ``n_jobs > 1`` alone selects parallel mode for backward
+        compatibility.
+    trial_mode:
+        How the independent trials are executed; all three modes produce
+        identical per-trial records for the same seeds:
+
+        * ``"serial"`` — one :class:`TabuSearch` run after the other (the
+          paper's protocol, literally);
+        * ``"parallel"`` — one worker process per trial across ``n_jobs``
+          host cores;
+        * ``"batched"`` — all trials advance in lockstep through a
+          :class:`~repro.localsearch.multistart.MultiStartRunner`, one
+          batched ``(S, n) -> (S, M)`` evaluation per iteration — the
+          solution-parallel execution engine.
     """
     if not isinstance(spec, PPPInstanceSpec):
         spec = PPPInstanceSpec(*spec)
@@ -179,8 +247,22 @@ def run_ppp_experiment(
         raise ValueError(f"trials must be positive, got {trials}")
     if n_jobs < 1:
         raise ValueError(f"n_jobs must be >= 1, got {n_jobs}")
-    if n_jobs > 1 and evaluator_factory is not None:
-        raise ValueError("parallel trials (n_jobs > 1) require the default evaluator")
+    if trial_mode not in TRIAL_MODES:
+        raise ValueError(f"unknown trial_mode {trial_mode!r}; expected one of {TRIAL_MODES}")
+    if trial_mode == "serial" and n_jobs > 1:
+        trial_mode = "parallel"
+    if trial_mode == "parallel":
+        if evaluator_factory is not None and not isinstance(evaluator_factory, str):
+            raise ValueError(
+                "parallel trials (n_jobs > 1) need a named evaluator spec "
+                f"(one of {sorted(EVALUATOR_SPECS)}): custom evaluator callables "
+                "cannot be shipped to worker processes"
+            )
+        if isinstance(evaluator_factory, str) and evaluator_factory not in EVALUATOR_SPECS:
+            raise ValueError(
+                f"unknown evaluator spec {evaluator_factory!r}; "
+                f"expected one of {sorted(EVALUATOR_SPECS)}"
+            )
 
     problem = make_table_instance(spec, trial=0)
     neighborhood = KHammingNeighborhood(problem.n, order)
@@ -198,20 +280,43 @@ def run_ppp_experiment(
         for trial in range(trials)
     ]
 
-    if n_jobs > 1:
+    if trial_mode == "parallel":
+        evaluator_name = evaluator_factory if isinstance(evaluator_factory, str) else "cpu"
         with ProcessPoolExecutor(max_workers=n_jobs) as pool:
             futures = [
                 pool.submit(
                     _run_single_trial, (spec.m, spec.n), order, max_iterations, tenure,
-                    seeds[trial], trial,
+                    seeds[trial], trial, evaluator_name,
                 )
                 for trial in range(trials)
             ]
             row.trials.extend(future.result() for future in futures)
         return row
 
-    factory = evaluator_factory or (lambda prob, nb: CPUEvaluator(prob, nb))
+    factory = resolve_evaluator_factory(evaluator_factory)
     evaluator: NeighborhoodEvaluator = factory(problem, neighborhood)
+
+    if trial_mode == "batched":
+        runner = MultiStartRunner(
+            evaluator,
+            algorithm="tabu",
+            tenure=tenure,
+            max_iterations=max_iterations,
+            track_history=track_history,
+        )
+        multi = runner.run(seeds=seeds)
+        row.trials.extend(
+            TrialRecord(
+                trial=trial,
+                fitness=result.best_fitness,
+                iterations=result.iterations,
+                success=result.success,
+                wall_time=result.wall_time,
+            )
+            for trial, result in enumerate(multi)
+        )
+        return row
+
     search = TabuSearch(
         evaluator,
         tenure=tenure,
@@ -237,6 +342,8 @@ def scale_experiment_rows(
     order: int,
     *,
     evaluator_factory=None,
+    trial_mode: str = "serial",
+    n_jobs: int = 1,
 ) -> list[ExperimentRow]:
     """Run one table's worth of experiments (every instance of ``scale``)."""
     rows = []
@@ -248,6 +355,8 @@ def scale_experiment_rows(
                 trials=scale.trials,
                 max_iterations=scale.iteration_cap(spec, order),
                 evaluator_factory=evaluator_factory,
+                trial_mode=trial_mode,
+                n_jobs=n_jobs,
             )
         )
     return rows

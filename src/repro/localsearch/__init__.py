@@ -3,6 +3,7 @@
 from .base import NeighborhoodLocalSearch
 from .hill_climbing import FirstImprovementHillClimbing, HillClimbing
 from .iterated import IteratedLocalSearch, VariableNeighborhoodSearch
+from .multistart import MultiStartResult, MultiStartRunner
 from .result import LSResult
 from .simulated_annealing import SimulatedAnnealing
 from .stopping import (
@@ -26,6 +27,8 @@ __all__ = [
     "IteratedLocalSearch",
     "VariableNeighborhoodSearch",
     "LSResult",
+    "MultiStartRunner",
+    "MultiStartResult",
     "StoppingCriterion",
     "SearchState",
     "MaxIterations",

@@ -1,0 +1,340 @@
+"""Lockstep multi-start execution: many independent searches per evaluation.
+
+The paper's experimental protocol runs 50 independent tabu-search trials per
+instance; the serial harness replays them one after the other, paying the
+per-iteration evaluation overhead (kernel launch, transfers, NumPy dispatch)
+once per replica per iteration.  :class:`MultiStartRunner` instead advances
+``R`` independent replicas *in lockstep*: each iteration performs exactly one
+batched :meth:`~repro.core.evaluators.NeighborhoodEvaluator.evaluate_many`
+call over the still-active replicas — on the GPU backend a single
+``S x M``-thread launch — and applies a vectorized selection rule per
+replica.
+
+Determinism is preserved replica by replica: given the same seed, a replica
+follows bit-for-bit the same trajectory as a standalone
+:class:`~repro.localsearch.tabu.TabuSearch` (or hill-climbing) run, because
+the batched evaluators are functionally identical to the scalar ones and the
+selection rules below are exact vectorizations of the scalar policies.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from ..core.evaluators import NeighborhoodEvaluator
+from ..problems.base import as_solution
+from .result import LSResult
+
+__all__ = ["MultiStartResult", "MultiStartRunner"]
+
+#: Sentinel for "move never applied" in the vectorized tabu memory (matches
+#: the scalar :class:`~repro.localsearch.tabu.TabuSearch` encoding).
+_NEVER = -(2**62)
+
+
+@dataclass
+class MultiStartResult:
+    """Per-replica results of one lockstep multi-start run."""
+
+    #: One :class:`LSResult` per replica, in replica order.
+    results: list[LSResult] = field(default_factory=list)
+    #: Wall-clock time of the whole batched run.
+    wall_time: float = 0.0
+    #: Simulated time accumulated by the evaluator over the whole run (the
+    #: batched launches are shared by all replicas — this is the elapsed
+    #: simulated time of the multi-start, not a per-replica sum).
+    simulated_time: float = 0.0
+    #: Number of lockstep iterations executed (the longest replica's count).
+    iterations: int = 0
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def __iter__(self) -> Iterator[LSResult]:
+        return iter(self.results)
+
+    def __getitem__(self, index: int) -> LSResult:
+        return self.results[index]
+
+    @property
+    def num_successes(self) -> int:
+        return sum(r.success for r in self.results)
+
+    @property
+    def best(self) -> LSResult:
+        """The replica that found the lowest fitness (ties: lowest index)."""
+        if not self.results:
+            raise ValueError("empty multi-start result")
+        return min(self.results, key=lambda r: r.best_fitness)
+
+    @property
+    def best_fitness(self) -> float:
+        return self.best.best_fitness
+
+    def summary(self) -> str:
+        return (
+            f"{len(self.results)} replicas: best fitness {self.best_fitness:g}, "
+            f"{self.num_successes} successes, {self.iterations} lockstep iterations"
+        )
+
+
+class MultiStartRunner:
+    """Advance ``R`` independent local searches with one batched evaluation per step.
+
+    Parameters
+    ----------
+    evaluator:
+        Neighborhood evaluator (binds problem + neighborhood + platform).
+        Any backend works; the GPU backend turns every lockstep iteration
+        into a single ``S x M``-thread launch.
+    algorithm:
+        Vectorized selection rule: ``"tabu"`` (the paper's robust taboo
+        search), ``"hill-climbing"`` (steepest descent) or
+        ``"first-improvement"``.
+    tenure:
+        Tabu tenure; defaults to the paper's ``|N| / 6`` rule (floor 1).
+    aspiration:
+        Classic aspiration criterion for the tabu rule.
+    max_iterations:
+        Per-replica iteration cap; defaults to the paper's
+        ``n(n-1)(n-2)/6``.
+    target_fitness:
+        A replica stops (reason ``"target_reached"``) once its best fitness
+        is at or below this value.
+    track_history:
+        Record each replica's best fitness after every one of its
+        iterations.
+    """
+
+    ALGORITHMS = ("tabu", "hill-climbing", "first-improvement")
+
+    def __init__(
+        self,
+        evaluator: NeighborhoodEvaluator,
+        *,
+        algorithm: str = "tabu",
+        tenure: int | None = None,
+        aspiration: bool = True,
+        max_iterations: int | None = None,
+        target_fitness: float = 0.0,
+        track_history: bool = False,
+    ) -> None:
+        if algorithm not in self.ALGORITHMS:
+            raise ValueError(
+                f"unknown algorithm {algorithm!r}; expected one of {self.ALGORITHMS}"
+            )
+        self.evaluator = evaluator
+        self.problem = evaluator.problem
+        self.neighborhood = evaluator.neighborhood
+        self.algorithm = algorithm
+        if max_iterations is None:
+            n = self.problem.n
+            max_iterations = n * (n - 1) * (n - 2) // 6
+        if max_iterations < 0:
+            raise ValueError(f"max_iterations must be non-negative, got {max_iterations}")
+        self.max_iterations = int(max_iterations)
+        if tenure is None:
+            tenure = max(1, self.neighborhood.size // 6)
+        if tenure < 0:
+            raise ValueError(f"tabu tenure must be non-negative, got {tenure}")
+        self.tenure = int(tenure)
+        self.aspiration = bool(aspiration)
+        self.target_fitness = float(target_fitness)
+        self.track_history = bool(track_history)
+
+    # ------------------------------------------------------------------
+    def _initial_block(
+        self,
+        replicas: int | None,
+        seeds: Sequence[int] | None,
+        rng: np.random.Generator | int | None,
+        initial_solutions: np.ndarray | None,
+    ) -> np.ndarray:
+        """Resolve the ``(R, n)`` block of starting points.
+
+        With ``seeds``, replica ``r`` draws its start from
+        ``np.random.default_rng(seeds[r])`` exactly like a standalone
+        ``search.run(rng=seeds[r])`` — that is what makes the batched
+        harness bit-compatible with the serial trial loop.
+        """
+        if initial_solutions is not None:
+            block = np.asarray(initial_solutions, dtype=np.int8)
+            if block.ndim != 2 or block.shape[1] != self.problem.n:
+                raise ValueError(
+                    f"expected an (R, {self.problem.n}) block of initial solutions, "
+                    f"got {block.shape}"
+                )
+            if replicas is not None and replicas != block.shape[0]:
+                raise ValueError("replicas does not match the initial solution count")
+            return np.stack([as_solution(row, self.problem.n) for row in block])
+        if seeds is not None:
+            if replicas is not None and replicas != len(seeds):
+                raise ValueError("replicas does not match the number of seeds")
+            streams = [np.random.default_rng(seed) for seed in seeds]
+        else:
+            if replicas is None:
+                raise ValueError("need replicas, seeds or initial_solutions")
+            if replicas <= 0:
+                raise ValueError(f"replicas must be positive, got {replicas}")
+            streams = np.random.default_rng(rng).spawn(replicas)
+        return np.stack([self.problem.random_solution(stream) for stream in streams])
+
+    # ------------------------------------------------------------------
+    def _select(
+        self,
+        fitnesses: np.ndarray,
+        current_fitness: np.ndarray,
+        best_fitness: np.ndarray,
+        iterations: np.ndarray,
+        last_applied: np.ndarray | None,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Vectorized per-replica move selection.
+
+        Returns ``(indices, selected_fitness, stop_mask)`` over the active
+        replicas; ``stop_mask`` marks replicas that hit a local optimum
+        (hill-climbing rules only — the tabu rule always moves).
+        """
+        num_active = fitnesses.shape[0]
+        rows = np.arange(num_active)
+        if self.algorithm == "tabu":
+            if self.tenure == 0:
+                admissible = np.ones_like(fitnesses, dtype=bool)
+            else:
+                admissible = (iterations[:, None] - last_applied) > self.tenure
+            if self.aspiration:
+                admissible |= fitnesses < best_fitness[:, None]
+            candidates = np.where(admissible, fitnesses, np.inf)
+            indices = candidates.argmin(axis=1)
+            # Robust-tabu escape: when every move of a replica is
+            # inadmissible, fall back to its oldest tabu move.
+            blocked = ~admissible.any(axis=1)
+            if blocked.any():
+                indices = np.where(blocked, last_applied.argmin(axis=1), indices)
+            return indices, fitnesses[rows, indices], np.zeros(num_active, dtype=bool)
+        if self.algorithm == "hill-climbing":
+            indices = fitnesses.argmin(axis=1)
+            selected = fitnesses[rows, indices]
+            return indices, selected, selected >= current_fitness
+        # first-improvement
+        improving = fitnesses < current_fitness[:, None]
+        has_improving = improving.any(axis=1)
+        indices = improving.argmax(axis=1)
+        return indices, fitnesses[rows, indices], ~has_improving
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        replicas: int | None = None,
+        *,
+        seeds: Sequence[int] | None = None,
+        rng: np.random.Generator | int | None = None,
+        initial_solutions: np.ndarray | None = None,
+    ) -> MultiStartResult:
+        """Run all replicas to completion and return their per-replica results."""
+        start_wall = time.perf_counter()
+        start_sim = self.evaluator.stats.simulated_time
+
+        current = self._initial_block(replicas, seeds, rng, initial_solutions)
+        num_replicas = current.shape[0]
+        size = self.neighborhood.size
+        mapping = self.neighborhood.mapping
+
+        current_fitness = np.asarray(self.problem.evaluate_batch(current), dtype=np.float64)
+        initial_fitness = current_fitness.copy()
+        best = current.copy()
+        best_fitness = current_fitness.copy()
+
+        iterations = np.zeros(num_replicas, dtype=np.int64)
+        evaluations = np.zeros(num_replicas, dtype=np.int64)
+        sim_share = np.zeros(num_replicas, dtype=np.float64)
+        wall_share = np.zeros(num_replicas, dtype=np.float64)
+        active = np.ones(num_replicas, dtype=bool)
+        reasons = np.array(["max_iterations"] * num_replicas, dtype=object)
+        histories: list[list[float]] = [[] for _ in range(num_replicas)]
+        last_applied = (
+            np.full((num_replicas, size), _NEVER, dtype=np.int64)
+            if self.algorithm == "tabu"
+            else None
+        )
+
+        lockstep = 0
+        while True:
+            # Per-replica stopping checks, in the scalar loop's order:
+            # target first, then the iteration cap.
+            reached = active & (best_fitness <= self.target_fitness)
+            reasons[reached] = "target_reached"
+            capped = active & ~reached & (iterations >= self.max_iterations)
+            active &= ~(reached | capped)
+            if not active.any():
+                break
+            lockstep += 1
+            active_idx = np.nonzero(active)[0]
+
+            # One batched evaluation for every still-active replica (the
+            # single S x M GPU launch of the solution-parallel engine).
+            step_wall = time.perf_counter()
+            step_sim = self.evaluator.stats.simulated_time
+            fitnesses = self.evaluator.evaluate_many(current[active_idx])
+            sim_share[active_idx] += (
+                self.evaluator.stats.simulated_time - step_sim
+            ) / active_idx.size
+            evaluations[active_idx] += size
+
+            sub_last = last_applied[active_idx] if last_applied is not None else None
+            indices, selected_fitness, optima = self._select(
+                fitnesses,
+                current_fitness[active_idx],
+                best_fitness[active_idx],
+                iterations[active_idx],
+                sub_last,
+            )
+            if optima.any():
+                stopped = active_idx[optima]
+                reasons[stopped] = "local_optimum"
+                active[stopped] = False
+
+            movers = active_idx[~optima]
+            if movers.size:
+                move_idx = indices[~optima]
+                moves = mapping.from_flat_batch(move_idx)
+                current[movers[:, None], moves] ^= 1
+                current_fitness[movers] = selected_fitness[~optima]
+                if last_applied is not None:
+                    last_applied[movers, move_idx] = iterations[movers]
+                improved = current_fitness[movers] < best_fitness[movers]
+                improved_rows = movers[improved]
+                best[improved_rows] = current[improved_rows]
+                best_fitness[improved_rows] = current_fitness[improved_rows]
+                iterations[movers] += 1
+                if self.track_history:
+                    for row in movers:
+                        histories[row].append(float(best_fitness[row]))
+            wall_share[active_idx] += (
+                time.perf_counter() - step_wall
+            ) / active_idx.size
+
+        results = [
+            LSResult(
+                best_solution=best[r],
+                best_fitness=float(best_fitness[r]),
+                iterations=int(iterations[r]),
+                evaluations=int(evaluations[r]),
+                success=self.problem.is_solution(float(best_fitness[r])),
+                stopping_reason=str(reasons[r]),
+                simulated_time=float(sim_share[r]),
+                wall_time=float(wall_share[r]),
+                initial_fitness=float(initial_fitness[r]),
+                history=histories[r],
+            )
+            for r in range(num_replicas)
+        ]
+        return MultiStartResult(
+            results=results,
+            wall_time=time.perf_counter() - start_wall,
+            simulated_time=self.evaluator.stats.simulated_time - start_sim,
+            iterations=int(lockstep),
+        )

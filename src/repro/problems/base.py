@@ -119,6 +119,73 @@ class BinaryProblem(abc.ABC):
         )
 
     # ------------------------------------------------------------------
+    # Solution-parallel batch interface
+    # ------------------------------------------------------------------
+    def _check_batch_args(
+        self, solutions: np.ndarray, moves: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Validate and coerce an ``(S, n)`` solution block and ``(M, k)`` moves."""
+        solutions = np.asarray(solutions, dtype=np.int8)
+        if solutions.ndim != 2 or solutions.shape[1] != self.n:
+            raise ValueError(f"expected an (S, {self.n}) solution block, got {solutions.shape}")
+        moves = np.asarray(moves, dtype=np.int64)
+        if moves.ndim != 2:
+            raise ValueError(f"expected an (num_moves, k) move array, got {moves.shape}")
+        return solutions, moves
+
+    def evaluate_neighborhood_batch(
+        self, solutions: np.ndarray, moves: np.ndarray
+    ) -> np.ndarray:
+        """Fitness of every neighbor of every solution: an ``(S, M)`` matrix.
+
+        ``solutions`` is an ``(S, n)`` block of candidate solutions (one
+        independent search replica per row) and ``moves`` an ``(M, k)`` array
+        of bit positions to flip; entry ``[s, j]`` of the result is the
+        fitness of ``solutions[s]`` with ``moves[j]`` applied.  This is the
+        unit of work of the solution-parallel execution engine: one batched
+        GPU launch evaluates all ``S x M`` (replica, neighbor) pairs.
+
+        The generic fallback applies the (already chunked)
+        :meth:`evaluate_neighborhood` row by row; workloads with a
+        broadcastable delta evaluation override it with a computation that is
+        vectorized over the solution axis as well.
+        """
+        solutions, moves = self._check_batch_args(solutions, moves)
+        out = np.empty((solutions.shape[0], moves.shape[0]), dtype=np.float64)
+        for s in range(solutions.shape[0]):
+            out[s] = self.evaluate_neighborhood(solutions[s], moves)
+        return out
+
+    def _evaluate_neighborhood_batch_by_flips(
+        self,
+        solutions: np.ndarray,
+        moves: np.ndarray,
+        *,
+        row_budget: int = DEFAULT_CHUNK,
+    ) -> np.ndarray:
+        """Vectorized batch fallback for problems without incremental evaluation.
+
+        Materialises the flipped ``(S * chunk, n)`` neighbor blocks (chunking
+        the move axis so at most ``row_budget`` rows exist at once) and scores
+        them with :meth:`evaluate_batch` — no Python loop over the replicas.
+        """
+        solutions, moves = self._check_batch_args(solutions, moves)
+        num_solutions, _ = solutions.shape
+        num_moves = moves.shape[0]
+        out = np.empty((num_solutions, num_moves), dtype=np.float64)
+        if num_solutions == 0 or num_moves == 0:
+            return out
+        chunk = max(1, row_budget // num_solutions)
+        for start in range(0, num_moves, chunk):
+            block = moves[start : start + chunk]
+            c = block.shape[0]
+            flipped = np.repeat(solutions[:, None, :], c, axis=1)  # (S, c, n)
+            flipped[:, np.arange(c)[:, None], block] ^= 1
+            scores = self.evaluate_batch(flipped.reshape(num_solutions * c, self.n))
+            out[:, start : start + c] = scores.reshape(num_solutions, c)
+        return out
+
+    # ------------------------------------------------------------------
     # Helpers shared by all workloads
     # ------------------------------------------------------------------
     def random_solution(self, rng: np.random.Generator | int | None = None) -> np.ndarray:

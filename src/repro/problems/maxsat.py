@@ -89,6 +89,13 @@ class MaxSat(BinaryProblem):
             raise ValueError(f"expected a (batch, {self.n}) array, got {solutions.shape}")
         return self._unsatisfied(solutions).astype(np.float64)
 
+    def evaluate_neighborhood_batch(self, solutions, moves) -> np.ndarray:
+        # Vectorized over the solution axis: flipped assignment blocks for all
+        # replicas are scored through the clause tables at once.  The row
+        # budget bounds the (rows, clauses, k) literal tensor.
+        budget = max(64, 2_097_152 // max(1, self.num_clauses * self.k_literals))
+        return self._evaluate_neighborhood_batch_by_flips(solutions, moves, row_budget=budget)
+
     def cost_profile(self, k: int = 1) -> dict[str, float]:
         # Full re-evaluation over all clauses per neighbor (no incremental
         # structure maintained here).

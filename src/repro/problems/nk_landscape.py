@@ -70,6 +70,13 @@ class NKLandscape(BinaryProblem):
         contrib = self._contributions(solutions)
         return 1.0 - contrib.mean(axis=1)
 
+    def evaluate_neighborhood_batch(self, solutions, moves) -> np.ndarray:
+        # Vectorized over the solution axis: every replica's flipped copies go
+        # through one `_contributions` table sweep.  The row budget bounds the
+        # (rows, n, K+1) epistatic state tensor.
+        budget = max(64, 2_097_152 // max(1, self.n * (self.k_interactions + 1)))
+        return self._evaluate_neighborhood_batch_by_flips(solutions, moves, row_budget=budget)
+
     def is_solution(self, fitness: float) -> bool:
         return False
 

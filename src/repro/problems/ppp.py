@@ -205,6 +205,44 @@ class PermutedPerceptronProblem(BinaryProblem):
             out[start:stop] = self._fitness_from_products_batch(Yn)
         return out
 
+    def evaluate_neighborhood_batch(
+        self,
+        solutions: np.ndarray,
+        moves: np.ndarray,
+        *,
+        element_budget: int = 4_194_304,
+    ) -> np.ndarray:
+        """Delta evaluation of ``moves`` applied to every row of ``solutions``.
+
+        The column-update identity of :meth:`evaluate_neighborhood` broadcasts
+        over the solution axis: for replica ``s`` and move ``j``, the product
+        vector changes by ``-2 * sum_t A[:, moves[j, t]] * V_s[moves[j, t]]``.
+        All ``S x M`` deltas are computed with one broadcasting expression per
+        flipped-bit position — no Python loop over the replicas.  The move
+        axis is chunked so the intermediate ``(S, chunk, m)`` product tensor
+        stays under ``element_budget`` elements.
+        """
+        solutions, moves = self._check_batch_args(solutions, moves)
+        num_solutions = solutions.shape[0]
+        num_moves, k = moves.shape
+        V = 2 * solutions.astype(np.int32) - 1  # (S, n)
+        Y0 = V @ self._At32  # (S, m)
+        out = np.empty((num_solutions, num_moves), dtype=np.float64)
+        if num_solutions == 0 or num_moves == 0:
+            return out
+        chunk = max(1, element_budget // max(1, num_solutions * self.m))
+        for start in range(0, num_moves, chunk):
+            block = moves[start : start + chunk]  # (c, k)
+            c = block.shape[0]
+            delta = np.zeros((num_solutions, c, self.m), dtype=np.int32)
+            for t in range(k):
+                cols = block[:, t]
+                delta += self._At32[cols][None, :, :] * V[:, cols][:, :, None]
+            Yn = Y0[:, None, :] - 2 * delta
+            scores = self._fitness_from_products_batch(Yn.reshape(num_solutions * c, self.m))
+            out[:, start : start + c] = scores.reshape(num_solutions, c)
+        return out
+
     # ------------------------------------------------------------------
     # Metadata for the harness / timing model
     # ------------------------------------------------------------------

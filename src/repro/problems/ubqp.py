@@ -88,6 +88,41 @@ class UBQP(BinaryProblem):
             out[start : start + block.shape[0]] = base + delta
         return out
 
+    def evaluate_neighborhood_batch(
+        self, solutions, moves, *, element_budget: int = 4_194_304
+    ) -> np.ndarray:
+        """Incremental k-flip evaluation broadcast over the solution axis.
+
+        The per-replica quantities of :meth:`evaluate_neighborhood` (``Q x``,
+        the flip directions and the base fitness) are computed for the whole
+        ``(S, n)`` block at once; the single-bit and pairwise cross terms then
+        broadcast over a leading replica axis.
+        """
+        solutions, moves = self._check_batch_args(solutions, moves)
+        X = solutions.astype(np.float64)  # (S, n)
+        num_solutions = X.shape[0]
+        num_moves, k = moves.shape
+        out = np.empty((num_solutions, num_moves), dtype=np.float64)
+        if num_solutions == 0 or num_moves == 0:
+            return out
+        base = np.einsum("si,ij,sj->s", X, self.Q, X)  # (S,)
+        QX = X @ self.Q  # (S, n)
+        D = 1.0 - 2.0 * X  # (S, n)
+        diag = np.diag(self.Q)
+        chunk = max(1, element_budget // max(1, num_solutions * max(1, k)))
+        for start in range(0, num_moves, chunk):
+            block = moves[start : start + chunk]  # (c, k)
+            c = block.shape[0]
+            dm = D[:, block]  # (S, c, k)
+            delta = (dm * (diag[block][None, :, :] * dm + 2.0 * QX[:, block])).sum(axis=2)
+            for a in range(k):
+                for b in range(a + 1, k):
+                    delta += (
+                        2.0 * dm[:, :, a] * dm[:, :, b] * self.Q[block[:, a], block[:, b]][None, :]
+                    )
+            out[:, start : start + c] = base[:, None] + delta
+        return out
+
     def is_solution(self, fitness: float) -> bool:
         return False  # no natural "success" certificate for UBQP
 

@@ -1,9 +1,13 @@
-"""Tests for the multi-process trial runner of the experiment harness."""
+"""Tests for the multi-process and batched trial runners of the harness."""
 
 import pytest
 
-from repro.harness import run_ppp_experiment
-from repro.harness.experiment import _run_single_trial
+from repro.harness import EVALUATOR_SPECS, TRIAL_MODES, run_ppp_experiment
+from repro.harness.experiment import _run_single_trial, resolve_evaluator_factory
+
+
+def records(row):
+    return [(t.trial, t.fitness, t.iterations, t.success) for t in row.trials]
 
 
 class TestParallelTrials:
@@ -11,8 +15,7 @@ class TestParallelTrials:
         kwargs = dict(trials=3, max_iterations=25)
         serial = run_ppp_experiment((25, 25), 2, **kwargs)
         parallel = run_ppp_experiment((25, 25), 2, n_jobs=2, **kwargs)
-        assert [t.fitness for t in parallel.trials] == [t.fitness for t in serial.trials]
-        assert [t.iterations for t in parallel.trials] == [t.iterations for t in serial.trials]
+        assert records(parallel) == records(serial)
         assert parallel.successes == serial.successes
 
     def test_single_trial_worker_is_deterministic(self):
@@ -32,3 +35,69 @@ class TestParallelTrials:
                 (25, 25), 1, trials=2, max_iterations=5, n_jobs=2,
                 evaluator_factory=lambda p, nb: GPUEvaluator(p, nb),
             )
+
+    def test_named_evaluator_spec_accepted_in_parallel_mode(self):
+        kwargs = dict(trials=2, max_iterations=10)
+        serial = run_ppp_experiment((25, 25), 1, **kwargs)
+        parallel = run_ppp_experiment(
+            (25, 25), 1, n_jobs=2, evaluator_factory="sequential", **kwargs
+        )
+        assert records(parallel) == records(serial)
+
+    def test_unknown_named_spec_rejected(self):
+        with pytest.raises(ValueError):
+            run_ppp_experiment((25, 25), 1, trials=2, max_iterations=5, n_jobs=2,
+                               evaluator_factory="quantum")
+
+
+class TestTrialModeParity:
+    @pytest.mark.parametrize("order", [1, 2])
+    def test_all_three_modes_produce_identical_records(self, order):
+        kwargs = dict(trials=4, max_iterations=20)
+        serial = run_ppp_experiment((25, 25), order, trial_mode="serial", **kwargs)
+        parallel = run_ppp_experiment((25, 25), order, trial_mode="parallel",
+                                      n_jobs=2, **kwargs)
+        batched = run_ppp_experiment((25, 25), order, trial_mode="batched", **kwargs)
+        assert records(serial) == records(parallel) == records(batched)
+
+    @pytest.mark.parametrize("spec", ["gpu", "sequential"])
+    def test_batched_mode_with_named_evaluators(self, spec):
+        kwargs = dict(trials=3, max_iterations=15)
+        serial = run_ppp_experiment((25, 25), 1, **kwargs)
+        batched = run_ppp_experiment((25, 25), 1, trial_mode="batched",
+                                     evaluator_factory=spec, **kwargs)
+        assert records(batched) == records(serial)
+
+    def test_batched_mode_with_base_seed(self):
+        kwargs = dict(trials=3, max_iterations=15, base_seed=42)
+        serial = run_ppp_experiment((25, 25), 1, **kwargs)
+        batched = run_ppp_experiment((25, 25), 1, trial_mode="batched", **kwargs)
+        assert records(batched) == records(serial)
+
+    def test_unknown_trial_mode_rejected(self):
+        with pytest.raises(ValueError):
+            run_ppp_experiment((25, 25), 1, trials=1, max_iterations=5,
+                               trial_mode="quantum")
+
+
+class TestEvaluatorSpecs:
+    def test_registry_names(self):
+        assert set(EVALUATOR_SPECS) == {"cpu", "sequential", "gpu", "multi-gpu"}
+        assert TRIAL_MODES == ("serial", "parallel", "batched")
+
+    def test_resolve_factory(self):
+        from repro.core import CPUEvaluator, GPUEvaluator
+        from repro.neighborhoods import OneHammingNeighborhood
+        from repro.problems import OneMax
+
+        problem, neighborhood = OneMax(8), OneHammingNeighborhood(8)
+        assert isinstance(resolve_evaluator_factory(None)(problem, neighborhood),
+                          CPUEvaluator)
+        assert isinstance(resolve_evaluator_factory("gpu")(problem, neighborhood),
+                          GPUEvaluator)
+        custom = lambda p, nb: CPUEvaluator(p, nb)
+        assert resolve_evaluator_factory(custom) is custom
+        with pytest.raises(ValueError):
+            resolve_evaluator_factory("quantum")
+        with pytest.raises(TypeError):
+            resolve_evaluator_factory(42)
