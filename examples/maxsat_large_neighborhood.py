@@ -15,7 +15,7 @@ import argparse
 import numpy as np
 
 from repro.core import CPUEvaluator, GPUEvaluator, iteration_times
-from repro.harness import format_time, render_markdown_table
+from repro.harness import render_markdown_table
 from repro.localsearch import HillClimbing, TabuSearch, VariableNeighborhoodSearch
 from repro.neighborhoods import KHammingNeighborhood
 from repro.problems import MaxSat

@@ -57,6 +57,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_exp.add_argument("--evaluator", default="cpu",
                        choices=("cpu", "sequential", "gpu", "multi-gpu"),
                        help="named evaluator spec used to run the trials")
+    p_exp.add_argument("--transfer-mode", default="full",
+                       choices=("full", "delta", "reduced"),
+                       help="host<->device transfer strategy: re-upload everything, "
+                            "device-resident with flipped-bit deltas, or deltas plus the "
+                            "fused on-device reduction (GPU evaluators only)")
     p_exp.add_argument("--jobs", type=int, default=1,
                        help="worker processes for --trial-mode parallel")
 
@@ -75,6 +80,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_solve.add_argument("--seed", type=int, default=0, help="instance and search seed")
     p_solve.add_argument("--texture", action="store_true",
                          help="bind the instance matrix to texture memory (GPU platforms)")
+    p_solve.add_argument("--transfer-mode", default="full",
+                         choices=("full", "delta", "reduced"),
+                         help="host<->device transfer strategy (GPU platforms)")
 
     sub.add_parser("devices", help="list the simulated GPU device presets")
 
@@ -109,7 +117,7 @@ def _cmd_tables(args) -> int:
 
 
 def _cmd_experiment(args) -> int:
-    from .harness import format_time, run_ppp_experiment
+    from .harness import format_bytes, format_time, run_ppp_experiment
 
     n = args.n
     max_iterations = args.iterations
@@ -123,9 +131,11 @@ def _cmd_experiment(args) -> int:
         evaluator_factory=args.evaluator,
         trial_mode=args.trial_mode,
         n_jobs=args.jobs,
+        transfer_mode=args.transfer_mode,
     )
     print(f"instance: {args.m} x {n} PPP, {args.k}-Hamming neighborhood, "
-          f"{args.trials} trials ({args.trial_mode} mode, {args.evaluator} evaluator)")
+          f"{args.trials} trials ({args.trial_mode} mode, {args.evaluator} evaluator, "
+          f"{args.transfer_mode} transfers)")
     print(f"fitness: {row.mean_fitness:.2f} +/- {row.std_fitness:.2f}, "
           f"successes: {row.successes}/{row.num_trials}, "
           f"mean iterations: {row.mean_iterations:.1f}")
@@ -133,6 +143,11 @@ def _cmd_experiment(args) -> int:
           f"GPU time {format_time(row.gpu_time)} (x{row.acceleration:.1f})")
     total_wall = sum(t.wall_time for t in row.trials)
     print(f"wall time (sum over trials): {format_time(total_wall)}")
+    if row.h2d_bytes or row.d2h_bytes:
+        print(f"PCIe traffic: {format_bytes(row.h2d_bytes)} up, "
+              f"{format_bytes(row.d2h_bytes)} down; simulated device elapsed "
+              f"{format_time(row.sim_elapsed_s)} "
+              f"(overlap saved {format_time(row.overlap_saved_s)})")
     return 0
 
 
@@ -162,8 +177,11 @@ def _cmd_solve(args) -> int:
         evaluator = MultiGPUEvaluator(problem, neighborhood, devices=args.devices)
 
     print(f"instance: {args.m} x {args.n} PPP, {args.k}-Hamming neighborhood "
-          f"({neighborhood.size} neighbors), platform: {args.platform}")
-    search = TabuSearch(evaluator, max_iterations=args.iterations)
+          f"({neighborhood.size} neighbors), platform: {args.platform}, "
+          f"{args.transfer_mode} transfers")
+    search = TabuSearch(
+        evaluator, max_iterations=args.iterations, transfer_mode=args.transfer_mode
+    )
     result = search.run(rng=args.seed)
     print(result.summary())
     print(f"simulated {evaluator.platform} time: {format_time(result.simulated_time)}")

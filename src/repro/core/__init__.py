@@ -8,6 +8,7 @@ reproduced tables.
 """
 
 from .evaluators import (
+    REDUCE_OPS,
     CPUEvaluator,
     EvaluatorStats,
     GPUEvaluator,
@@ -26,6 +27,7 @@ __all__ = [
     "GPUEvaluator",
     "MultiGPUEvaluator",
     "EvaluatorStats",
+    "REDUCE_OPS",
     "build_neighborhood_kernel",
     "kernel_cost_profile",
     "mapping_flops",

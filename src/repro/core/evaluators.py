@@ -24,27 +24,43 @@ be executed and therefore in the **simulated time** they accumulate:
     Partitions the flat index space across several simulated devices (the
     paper's multi-GPU perspective); elapsed simulated time is the slowest
     partition.
+
+The GPU evaluators additionally expose a **device-resident** session API
+(:meth:`GPUEvaluator.begin_search` / :meth:`GPUEvaluator.apply_deltas` /
+:meth:`GPUEvaluator.evaluate_resident` / :meth:`GPUEvaluator.end_search`):
+the solution block is uploaded once per search, each iteration sends only
+the flipped-bit ``(replica, bit)`` deltas, and — with ``reduce="argmin"`` —
+a fused neighborhood+reduction launch returns only the per-replica best
+``(index, fitness)`` pair, shrinking the per-iteration PCIe traffic from
+``O(S·M)`` floats down to 16 bytes per replica.
 """
 
 from __future__ import annotations
 
 import abc
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
 from ..gpu.device import GTX_280, XEON_3GHZ, DeviceSpec, HostSpec
+from ..gpu.dtypes import (
+    DELTA_DTYPE,
+    FITNESS_BYTES,
+    FITNESS_DTYPE,
+    REDUCED_PAIR_DTYPE,
+    SOLUTION_DTYPE,
+)
 from ..gpu.hierarchy import DEFAULT_BLOCK_SIZE
 from ..gpu.kernel import ExecutionMode, Kernel
-from ..gpu.multi_device import MultiGPU
+from ..gpu.multi_device import MultiGPU, partition_range
 from ..gpu.runtime import GPUContext
-from ..gpu.timing import GPUTimingModel, HostTimingModel
+from ..gpu.streams import COPY_STREAM, DOWNLOAD_STREAM
+from ..gpu.timing import HostTimingModel
 from ..neighborhoods import Neighborhood
 from ..problems import BinaryProblem, as_solution
 from .kernels import (
     build_batch_neighborhood_kernel,
     build_neighborhood_kernel,
-    kernel_cost_profile,
     mapping_flops,
 )
 
@@ -55,7 +71,55 @@ __all__ = [
     "CPUEvaluator",
     "GPUEvaluator",
     "MultiGPUEvaluator",
+    "REDUCE_OPS",
 ]
+
+#: Fused on-device reduction operators of the device-resident pipeline.
+REDUCE_OPS = ("argmin", "first-improvement")
+
+
+def _fused_reduce(
+    fitnesses: np.ndarray,
+    op: str,
+    admissible: np.ndarray | None,
+    aspiration_fitness: np.ndarray | None,
+    thresholds: np.ndarray | None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Functional body of the fused reduction epilogue.
+
+    Returns per-replica ``(index, fitness)``; a replica with no selectable
+    move gets ``(-1, inf)`` (every admissibility decision the device cannot
+    make — robust-tabu escapes, local-optimum stops — is left to the host).
+    The selection semantics exactly match the host-side vectorized rules, so
+    reduced-mode trajectories are bit-identical to full-mode ones.
+    """
+    rows = np.arange(fitnesses.shape[0])
+    if op == "argmin":
+        if admissible is None and aspiration_fitness is None:
+            indices = fitnesses.argmin(axis=1)
+            return indices.astype(np.int64), fitnesses[rows, indices].astype(np.float64)
+        if admissible is None:
+            mask = np.ones(fitnesses.shape, dtype=bool)
+        else:
+            mask = np.asarray(admissible, dtype=bool).copy()
+        if aspiration_fitness is not None:
+            mask |= fitnesses < np.asarray(aspiration_fitness, dtype=np.float64)[:, None]
+        candidates = np.where(mask, fitnesses, np.inf)
+        indices = candidates.argmin(axis=1)
+        blocked = ~mask.any(axis=1)
+        out_indices = np.where(blocked, -1, indices).astype(np.int64)
+        out_fitness = np.where(blocked, np.inf, fitnesses[rows, indices])
+        return out_indices, out_fitness.astype(np.float64)
+    if op == "first-improvement":
+        if thresholds is None:
+            raise ValueError("first-improvement reduction needs per-replica thresholds")
+        improving = fitnesses < np.asarray(thresholds, dtype=np.float64)[:, None]
+        has_improving = improving.any(axis=1)
+        indices = improving.argmax(axis=1)
+        out_indices = np.where(has_improving, indices, -1).astype(np.int64)
+        out_fitness = np.where(has_improving, fitnesses[rows, indices], np.inf)
+        return out_indices, out_fitness.astype(np.float64)
+    raise ValueError(f"unknown reduce op {op!r}; expected one of {REDUCE_OPS}")
 
 
 @dataclass
@@ -77,6 +141,10 @@ class NeighborhoodEvaluator(abc.ABC):
 
     #: Short platform label used by the harness ("cpu", "gpu", ...).
     platform: str = "abstract"
+
+    #: Whether the backend implements the device-resident session API
+    #: (``begin_search`` / ``apply_deltas`` / ``evaluate_resident``).
+    supports_device_residency: bool = False
 
     def __init__(self, problem: BinaryProblem, neighborhood: Neighborhood) -> None:
         if neighborhood.n != problem.n:
@@ -149,6 +217,15 @@ class NeighborhoodEvaluator(abc.ABC):
 
     def reset_stats(self) -> None:
         self.stats.reset()
+
+    def close(self) -> None:
+        """Release any persistent per-evaluator device buffers (no-op on CPU)."""
+
+    def __enter__(self) -> "NeighborhoodEvaluator":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     def __repr__(self) -> str:  # pragma: no cover
         return (
@@ -263,6 +340,31 @@ class GPUEvaluator(NeighborhoodEvaluator):
         # replicas changes).
         self._solutions_shape: tuple[int, int] | None = None
         self._batch_fitness_size: int | None = None
+        # --- device-resident session state -----------------------------
+        #: Host mirror of the device-resident (R, n) solution block.
+        self._resident: np.ndarray | None = None
+        self._resident_fitness_size: int | None = None
+        self._reduced_size: int | None = None
+        #: Host-staged (replica, bit) pairs, shipped as one delta packet by
+        #: the next resident evaluation (one PCIe transaction, one latency).
+        self._staged_deltas: list[np.ndarray] = []
+        #: Simulated instant the host last synchronized with the device;
+        #: host-issued operations cannot start before it.
+        self._sync_time: float = 0.0
+        #: Fitness block and global replica ids of the last resident launch
+        #: (still live in device memory — `fetch_fitnesses` reads from it).
+        self._last_fitnesses: np.ndarray | None = None
+        self._last_rows: np.ndarray | None = None
+        #: Set by close(); a closed evaluator's device buffers are gone, so
+        #: further evaluations would escape the device-memory model.
+        self._closed = False
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise RuntimeError(
+                "evaluator has been closed (its device buffers were freed); "
+                "create a new evaluator instead of reusing it"
+            )
 
     def _is_canonical_full(self, indices: np.ndarray) -> bool:
         """Whether ``indices`` is exactly ``0, 1, ..., size - 1`` in order.
@@ -280,13 +382,16 @@ class GPUEvaluator(NeighborhoodEvaluator):
         )
 
     def _account_d2h(self, context: GPUContext, num_fitnesses: int) -> None:
-        # Device -> host: the fitness array, for host-side move selection.
-        # The buffer is float64, so 8 bytes per entry cross PCIe.
-        d2h_bytes = 8.0 * num_fitnesses
-        context.stats.transfer_time += context.timing.transfer_time(d2h_bytes)
+        # Device -> host: the fitness array, for host-side move selection,
+        # at the width of the shared fitness dtype.
+        d2h_bytes = float(FITNESS_BYTES) * num_fitnesses
+        duration = context.timing.transfer_time(d2h_bytes)
+        context.stats.transfer_time += duration
         context.stats.d2h_bytes += int(d2h_bytes)
+        context.timeline.schedule_sync("d2h", "fitnesses", duration)
 
     def _evaluate(self, solution: np.ndarray, indices: np.ndarray) -> np.ndarray:
+        self._check_open()
         before = self.context.stats.total_time
         # Host -> device: the candidate solution (int32, as in the paper's kernels).
         self.context.to_device(f"solution:{id(self)}", solution.astype(np.int32))
@@ -333,6 +438,7 @@ class GPUEvaluator(NeighborhoodEvaluator):
         latency and launch overhead are paid once instead of ``S`` times —
         the core amortization of the batched execution engine.
         """
+        self._check_open()
         before = self.context.stats.total_time
         num_solutions, num_indices = solutions.shape[0], indices.size
         # Host -> device: the whole solution block, uploaded once.
@@ -379,6 +485,289 @@ class GPUEvaluator(NeighborhoodEvaluator):
         # Copy: the persistent device buffer is overwritten by the next call.
         return flat.reshape(num_solutions, num_indices).copy()
 
+    # ------------------------------------------------------------------
+    # Device-resident session API
+    # ------------------------------------------------------------------
+    supports_device_residency = True
+
+    def _session_buffer(self, kind: str) -> str:
+        return f"{kind}:{id(self)}"
+
+    def begin_search(self, solutions: np.ndarray) -> None:
+        """Upload the ``(R, n)`` solution block once; it stays device-resident.
+
+        Subsequent iterations mutate the resident block through
+        :meth:`apply_deltas` and evaluate it through
+        :meth:`evaluate_resident`; the block never crosses PCIe again.
+        """
+        solutions = np.asarray(solutions, dtype=np.int8)
+        if solutions.ndim != 2 or solutions.shape[1] != self.problem.n:
+            raise ValueError(
+                f"expected an (R, {self.problem.n}) solution block, got {solutions.shape}"
+            )
+        if solutions.shape[0] == 0:
+            raise ValueError("need at least one replica to start a resident search")
+        self._check_open()
+        self.end_search()
+        self._resident = solutions.copy()
+        before = self.context.timeline.elapsed
+        self.context.to_device(
+            self._session_buffer("resident"), solutions.astype(SOLUTION_DTYPE)
+        )
+        self._sync_time = self.context.timeline.elapsed
+        self.stats.simulated_time += self.context.timeline.elapsed - before
+
+    def apply_deltas(self, replicas: np.ndarray, bits: np.ndarray) -> None:
+        """Send only the flipped bits: ``(replica, bit)`` int32 pairs.
+
+        ``O(S·k)`` bytes per iteration instead of re-uploading the whole
+        ``(S, n)`` block.  The pairs are staged host-side and cross PCIe as
+        a single delta packet when the next resident evaluation is issued
+        (the device folds the scatter into the evaluation launch).
+        """
+        if self._resident is None:
+            raise RuntimeError("begin_search must be called before apply_deltas")
+        replicas = np.asarray(replicas, dtype=np.int64).ravel()
+        bits = np.asarray(bits, dtype=np.int64).ravel()
+        if replicas.shape != bits.shape:
+            raise ValueError("replicas and bits must have the same length")
+        if replicas.size == 0:
+            return
+        if replicas.min() < 0 or replicas.max() >= self._resident.shape[0]:
+            raise IndexError("delta replica index out of range")
+        if bits.min() < 0 or bits.max() >= self.problem.n:
+            raise IndexError("delta bit index out of range")
+        self._resident[replicas, bits] ^= 1
+        self._staged_deltas.append(np.stack([replicas, bits], axis=1).astype(DELTA_DTYPE))
+
+    def evaluate_resident(
+        self,
+        replica_ids: np.ndarray | None = None,
+        *,
+        reduce: str | None = None,
+        admissible: np.ndarray | None = None,
+        aspiration_fitness: np.ndarray | None = None,
+        thresholds: np.ndarray | None = None,
+    ):
+        """Evaluate the full neighborhood of the resident block's replicas.
+
+        Parameters
+        ----------
+        replica_ids:
+            Rows of the resident block to evaluate (default: all).  The id
+            list crosses PCIe (``O(S)`` int32), not the solutions.
+        reduce:
+            ``None`` downloads the full ``(S, M)`` fitness matrix (the
+            "delta" transfer mode).  ``"argmin"`` / ``"first-improvement"``
+            run the fused on-device reduction and download only the
+            per-replica ``(index, fitness)`` pair — 16 bytes per replica.
+        admissible:
+            Optional ``(S, M)`` admissibility mask for ``"argmin"`` (the
+            tabu rule).  It is bit-packed and uploaded on the copy stream,
+            overlapping the evaluation kernel, because only the reduction
+            epilogue consumes it.
+        aspiration_fitness:
+            Per-replica aspiration thresholds: an inadmissible move becomes
+            admissible when strictly better (device-side comparison).
+        thresholds:
+            Per-replica current fitnesses for ``"first-improvement"``.
+
+        Returns the fitness matrix (``reduce=None``) or an
+        ``(indices, fitnesses)`` pair of per-replica arrays where a blocked
+        replica (no admissible / no improving move) gets ``(-1, inf)``.
+        """
+        if self._resident is None:
+            raise RuntimeError("begin_search must be called before evaluate_resident")
+        context = self.context
+        timeline = context.timeline
+        before_elapsed = timeline.elapsed
+        if replica_ids is None:
+            rows = np.arange(self._resident.shape[0], dtype=np.int64)
+            block = self._resident
+        else:
+            rows = np.asarray(replica_ids, dtype=np.int64).ravel()
+            if rows.size and (rows.min() < 0 or rows.max() >= self._resident.shape[0]):
+                raise IndexError("replica id out of range")
+            block = self._resident[rows]
+        num_solutions, num_indices = rows.size, self.neighborhood.size
+        if num_solutions == 0:
+            raise ValueError("need at least one active replica")
+        # The pre-kernel delta packet: staged (replica, bit) flips plus —
+        # when a strict subset of replicas is active — the id list.  One
+        # staging buffer, one PCIe transaction, one latency.
+        packet_parts = [pairs.reshape(-1).view(np.uint8) for pairs in self._staged_deltas]
+        self._staged_deltas = []
+        if rows.size != self._resident.shape[0] or not np.array_equal(
+            rows, np.arange(self._resident.shape[0])
+        ):
+            packet_parts.append(rows.astype(SOLUTION_DTYPE).view(np.uint8))
+        kernel_deps = []
+        if packet_parts:
+            kernel_deps.append(
+                context.copy_async(
+                    self._session_buffer("deltas"),
+                    np.concatenate(packet_parts),
+                    stream=COPY_STREAM,
+                    not_before=self._sync_time,
+                )
+            )
+        flat_name = self._session_buffer("resident_fitnesses")
+        flat_size = num_solutions * num_indices
+        if self._resident_fitness_size not in (None, flat_size):
+            context.free(flat_name)
+        if self._resident_fitness_size != flat_size:
+            context.alloc(flat_name, (flat_size,), FITNESS_DTYPE)
+            self._resident_fitness_size = flat_size
+        flat = context.memory.get(flat_name).data
+        _, kernel_event = context.launch_async(
+            self.batch_kernel,
+            (num_solutions, num_indices),
+            (block, flat),
+            wait_for=kernel_deps,
+            not_before=self._sync_time,
+            block_size=self.block_size,
+        )
+        fitnesses = flat.reshape(num_solutions, num_indices)
+        self._last_fitnesses = fitnesses
+        self._last_rows = rows
+        if reduce is None:
+            data, down_event = context.download_async(flat_name, wait_for=kernel_event)
+            self._sync_time = down_event.time
+            result = data.reshape(num_solutions, num_indices)
+        else:
+            if reduce not in REDUCE_OPS:
+                raise ValueError(f"unknown reduce op {reduce!r}; expected one of {REDUCE_OPS}")
+            reduce_deps = [kernel_event]
+            # The reduction packet (bit-packed admissibility mask, per-replica
+            # aspiration / improvement thresholds) is consumed only by the
+            # reduction epilogue, so its upload is issued on the copy stream
+            # concurrently with the evaluation kernel — the transfer hides
+            # under the kernel's execution time.
+            reduction_parts = []
+            if admissible is not None:
+                admissible = np.asarray(admissible, dtype=bool)
+                if admissible.shape != (num_solutions, num_indices):
+                    raise ValueError(
+                        f"admissible mask must be ({num_solutions}, {num_indices}), "
+                        f"got {admissible.shape}"
+                    )
+                reduction_parts.append(np.packbits(admissible, axis=1).reshape(-1))
+            if aspiration_fitness is not None:
+                reduction_parts.append(
+                    np.asarray(aspiration_fitness, dtype=np.float64).view(np.uint8)
+                )
+            if thresholds is not None:
+                reduction_parts.append(
+                    np.asarray(thresholds, dtype=np.float64).view(np.uint8)
+                )
+            if reduction_parts:
+                reduce_deps.append(
+                    context.copy_async(
+                        self._session_buffer("reduction_packet"),
+                        np.concatenate(reduction_parts),
+                        stream=COPY_STREAM,
+                        not_before=self._sync_time,
+                    )
+                )
+            indices, best = _fused_reduce(
+                fitnesses, reduce, admissible, aspiration_fitness, thresholds
+            )
+            reduced_name = self._session_buffer("reduced")
+            if self._reduced_size not in (None, num_solutions):
+                context.free(reduced_name)
+            if self._reduced_size != num_solutions:
+                context.alloc(reduced_name, (num_solutions,), REDUCED_PAIR_DTYPE)
+                self._reduced_size = num_solutions
+            reduced_buf = context.memory.get(reduced_name).data
+            reduced_buf["index"] = indices
+            reduced_buf["fitness"] = best
+            reduce_event = context.reduce_async(
+                f"FusedReduce<{reduce}>[{self.batch_kernel.name}]",
+                flat_size,
+                wait_for=reduce_deps,
+            )
+            data, down_event = context.download_async(reduced_name, wait_for=reduce_event)
+            self._sync_time = down_event.time
+            result = (
+                data["index"].astype(np.int64),
+                data["fitness"].astype(np.float64),
+            )
+        self.stats.calls += 1
+        self.stats.evaluations += flat_size
+        self.stats.simulated_time += timeline.elapsed - before_elapsed
+        return result
+
+    def fetch_fitnesses(self, replicas: np.ndarray, move_indices: np.ndarray) -> np.ndarray:
+        """Read single entries of the last evaluated fitness block.
+
+        Used by the host for decisions the fused reduction cannot make (the
+        robust-tabu escape to the oldest move): one fitness value per
+        requested entry crosses PCIe — ``O(S)``, not ``O(S·M)``.
+        """
+        if self._last_fitnesses is None or self._last_rows is None:
+            raise RuntimeError("no resident fitness block has been evaluated yet")
+        replicas = np.asarray(replicas, dtype=np.int64).ravel()
+        move_indices = np.asarray(move_indices, dtype=np.int64).ravel()
+        # Map global replica ids to rows of the last launch without assuming
+        # the caller evaluated them in sorted order.
+        order = np.argsort(self._last_rows, kind="stable")
+        positions = np.searchsorted(self._last_rows[order], replicas)
+        if positions.size and (
+            positions.max() >= order.size
+            or not np.array_equal(self._last_rows[order][positions], replicas)
+        ):
+            raise KeyError("replica was not part of the last resident evaluation")
+        local = order[positions]
+        values = self._last_fitnesses[local, move_indices].astype(np.float64)
+        context = self.context
+        before = context.timeline.elapsed
+        nbytes = int(FITNESS_BYTES) * values.size
+        duration = context.timing.transfer_time(nbytes)
+        context.stats.transfer_time += duration
+        context.stats.d2h_bytes += nbytes
+        interval = context.timeline.schedule(
+            "d2h",
+            "fitnesses[fetch]",
+            duration,
+            stream=DOWNLOAD_STREAM,
+            not_before=self._sync_time,
+        )
+        self._sync_time = interval.end
+        self.stats.simulated_time += context.timeline.elapsed - before
+        return values
+
+    def end_search(self) -> None:
+        """Drop the resident session's device buffers and host mirrors."""
+        for kind in (
+            "resident",
+            "deltas",
+            "reduction_packet",
+            "resident_fitnesses",
+            "reduced",
+        ):
+            name = self._session_buffer(kind)
+            if name in self.context.memory.allocations:
+                self.context.free(name)
+        self._resident = None
+        self._resident_fitness_size = None
+        self._reduced_size = None
+        self._staged_deltas = []
+        self._last_fitnesses = None
+        self._last_rows = None
+
+    def close(self) -> None:
+        """Free every persistent device buffer owned by this evaluator.
+
+        Long-lived contexts shared by many evaluators would otherwise
+        accumulate the per-evaluator ``fitnesses:<id>`` / ``solution:<id>``
+        allocations as simulated device-memory leaks.
+        """
+        self.end_search()
+        self.context.free_evaluator_buffers(self)
+        self._solutions_shape = None
+        self._batch_fitness_size = None
+        self._closed = True
+
     @property
     def simulated_time(self) -> float:
         return self.stats.simulated_time
@@ -413,6 +802,8 @@ class MultiGPUEvaluator(NeighborhoodEvaluator):
         # Per-device shape of the last uploaded solution slice (the buffers
         # are reallocated when a device's share of the batch changes).
         self._device_upload_shapes: dict[int, tuple[int, int]] = {}
+        # Replica ranges [lo, hi) owned by each device in a resident session.
+        self._replica_ranges: list[tuple[int, int]] | None = None
 
     @property
     def num_devices(self) -> int:
@@ -490,3 +881,134 @@ class MultiGPUEvaluator(NeighborhoodEvaluator):
             out[part.start : part.stop] = sub_out
         self.stats.simulated_time += max(per_device_times) if per_device_times else 0.0
         return out.reshape(num_solutions, num_indices)
+
+    # ------------------------------------------------------------------
+    # Device-resident session API (replica-partitioned across devices)
+    # ------------------------------------------------------------------
+    supports_device_residency = True
+
+    def _resident_parts(self):
+        """Yield ``(evaluator, lo, hi)`` for devices owning at least one replica."""
+        if self._replica_ranges is None:
+            raise RuntimeError("begin_search must be called before resident operations")
+        for evaluator, (lo, hi) in zip(self._sub_evaluators, self._replica_ranges):
+            if hi > lo:
+                yield evaluator, lo, hi
+
+    def begin_search(self, solutions: np.ndarray) -> None:
+        """Split the ``(R, n)`` block into contiguous replica ranges, one per device."""
+        solutions = np.asarray(solutions, dtype=np.int8)
+        if solutions.ndim != 2 or solutions.shape[1] != self.problem.n:
+            raise ValueError(
+                f"expected an (R, {self.problem.n}) solution block, got {solutions.shape}"
+            )
+        if solutions.shape[0] == 0:
+            raise ValueError("need at least one replica to start a resident search")
+        self.end_search()
+        parts = partition_range(solutions.shape[0], self.num_devices)
+        self._replica_ranges = [(part.start, part.stop) for part in parts]
+        per_device_times = []
+        for evaluator, lo, hi in self._resident_parts():
+            before = evaluator.context.timeline.elapsed
+            evaluator.begin_search(solutions[lo:hi])
+            per_device_times.append(evaluator.context.timeline.elapsed - before)
+        # Devices upload their slices concurrently.
+        self.stats.simulated_time += max(per_device_times) if per_device_times else 0.0
+
+    def apply_deltas(self, replicas: np.ndarray, bits: np.ndarray) -> None:
+        """Route each ``(replica, bit)`` pair to the device owning the replica."""
+        replicas = np.asarray(replicas, dtype=np.int64).ravel()
+        bits = np.asarray(bits, dtype=np.int64).ravel()
+        per_device_times = []
+        for evaluator, lo, hi in self._resident_parts():
+            mask = (replicas >= lo) & (replicas < hi)
+            if not mask.any():
+                continue
+            before = evaluator.context.timeline.elapsed
+            evaluator.apply_deltas(replicas[mask] - lo, bits[mask])
+            per_device_times.append(evaluator.context.timeline.elapsed - before)
+        self.stats.simulated_time += max(per_device_times) if per_device_times else 0.0
+
+    def evaluate_resident(
+        self,
+        replica_ids: np.ndarray | None = None,
+        *,
+        reduce: str | None = None,
+        admissible: np.ndarray | None = None,
+        aspiration_fitness: np.ndarray | None = None,
+        thresholds: np.ndarray | None = None,
+    ):
+        """Per-device resident evaluation; elapsed time is the slowest device's."""
+        if self._replica_ranges is None:
+            raise RuntimeError("begin_search must be called before evaluate_resident")
+        total = self._replica_ranges[-1][1]
+        if replica_ids is None:
+            rows = np.arange(total, dtype=np.int64)
+        else:
+            rows = np.asarray(replica_ids, dtype=np.int64).ravel()
+            if rows.size and (rows.min() < 0 or rows.max() >= total):
+                raise IndexError("replica id out of range")
+        num_solutions, num_indices = rows.size, self.neighborhood.size
+        if num_solutions == 0:
+            raise ValueError("need at least one active replica")
+        if reduce is None:
+            out_fitnesses = np.empty((num_solutions, num_indices), dtype=np.float64)
+        else:
+            out_indices = np.empty(num_solutions, dtype=np.int64)
+            out_best = np.empty(num_solutions, dtype=np.float64)
+        per_device_times = []
+        for evaluator, lo, hi in self._resident_parts():
+            mask = (rows >= lo) & (rows < hi)
+            if not mask.any():
+                continue
+            local_ids = rows[mask] - lo
+            before = evaluator.context.timeline.elapsed
+            sub = evaluator.evaluate_resident(
+                local_ids,
+                reduce=reduce,
+                admissible=admissible[mask] if admissible is not None else None,
+                aspiration_fitness=(
+                    aspiration_fitness[mask] if aspiration_fitness is not None else None
+                ),
+                thresholds=thresholds[mask] if thresholds is not None else None,
+            )
+            per_device_times.append(evaluator.context.timeline.elapsed - before)
+            if reduce is None:
+                out_fitnesses[mask] = sub
+            else:
+                out_indices[mask], out_best[mask] = sub
+        self.stats.calls += 1
+        self.stats.evaluations += num_solutions * num_indices
+        self.stats.simulated_time += max(per_device_times) if per_device_times else 0.0
+        if reduce is None:
+            return out_fitnesses
+        return out_indices, out_best
+
+    def fetch_fitnesses(self, replicas: np.ndarray, move_indices: np.ndarray) -> np.ndarray:
+        """Route single-entry fitness reads to the devices owning the replicas."""
+        replicas = np.asarray(replicas, dtype=np.int64).ravel()
+        move_indices = np.asarray(move_indices, dtype=np.int64).ravel()
+        out = np.empty(replicas.size, dtype=np.float64)
+        per_device_times = []
+        for evaluator, lo, hi in self._resident_parts():
+            mask = (replicas >= lo) & (replicas < hi)
+            if not mask.any():
+                continue
+            before = evaluator.context.timeline.elapsed
+            out[mask] = evaluator.fetch_fitnesses(replicas[mask] - lo, move_indices[mask])
+            per_device_times.append(evaluator.context.timeline.elapsed - before)
+        self.stats.simulated_time += max(per_device_times) if per_device_times else 0.0
+        return out
+
+    def end_search(self) -> None:
+        for evaluator in self._sub_evaluators:
+            evaluator.end_search()
+        self._replica_ranges = None
+
+    def close(self) -> None:
+        """Release every sub-evaluator's persistent device buffers."""
+        self.end_search()
+        for evaluator in self._sub_evaluators:
+            evaluator.close()
+            evaluator.context.free_evaluator_buffers(self)
+        self._device_upload_shapes = {}

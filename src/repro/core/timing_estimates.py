@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..gpu.device import GTX_280, XEON_3GHZ, DeviceSpec, HostSpec
+from ..gpu.dtypes import FITNESS_BYTES, SOLUTION_ENTRY_BYTES
 from ..gpu.hierarchy import DEFAULT_BLOCK_SIZE, grid_for
 from ..gpu.timing import GPUTimingModel, HostTimingModel
 from ..neighborhoods import Neighborhood
@@ -76,12 +77,12 @@ def iteration_times(
     config = grid_for(size, block_size)
     kernel_cost = kernel_cost_profile(problem, order, use_texture=use_texture)
     breakdown = gpu_model.kernel_time(config, kernel_cost, active_threads=size)
-    # Host -> device: the candidate solution (n bytes as int8 or 4n as int32;
-    # we charge 4 bytes per element as the paper's int vector).
-    h2d = gpu_model.transfer_time(4.0 * problem.n)
-    # Device -> host: the fitness array (one float64 per neighbor, matching
-    # the dtype of the evaluators' device fitness buffer).
-    d2h = gpu_model.transfer_time(8.0 * size)
+    # Host -> device: the candidate solution (the paper's int vector, at the
+    # same width the evaluators upload it).
+    h2d = gpu_model.transfer_time(float(SOLUTION_ENTRY_BYTES) * problem.n)
+    # Device -> host: the fitness array, at the dtype of the evaluators'
+    # device fitness buffer.
+    d2h = gpu_model.transfer_time(float(FITNESS_BYTES) * size)
     return IterationTimes(
         cpu_time=cpu_time,
         gpu_kernel_time=breakdown.kernel_time,

@@ -17,13 +17,34 @@ from .device import (
     HostSpec,
     get_device,
 )
+from .dtypes import (
+    DELTA_DTYPE,
+    DELTA_PAIR_BYTES,
+    FITNESS_BYTES,
+    FITNESS_DTYPE,
+    REDUCED_INDEX_DTYPE,
+    REDUCED_RESULT_BYTES,
+    SOLUTION_DTYPE,
+    SOLUTION_ENTRY_BYTES,
+)
 from .hierarchy import DEFAULT_BLOCK_SIZE, Dim3, LaunchConfig, ThreadIndex, grid_for
 from .kernel import ExecutionMode, Kernel, KernelLaunch, ThreadContext, normalize_work
 from .memory import DeviceBuffer, MemoryManager, MemorySpace, OutOfDeviceMemory, TransferRecord
 from .multi_device import MultiGPU, Partition, partition_range
 from .occupancy import OccupancyResult, occupancy
-from .profiler import KernelProfile, ProfileReport, format_profile, profile
+from .profiler import KernelProfile, ProfileReport, format_profile, profile, timeline_report
 from .runtime import DeviceStats, GPUContext
+from .streams import (
+    COMPUTE_STREAM,
+    COPY_STREAM,
+    DEFAULT_STREAM,
+    DOWNLOAD_STREAM,
+    Event,
+    Stream,
+    StreamInterval,
+    Timeline,
+    format_timeline,
+)
 from .timing import GPUTimingModel, HostTimingModel, KernelCostProfile, KernelTimeBreakdown
 
 __all__ = [
@@ -54,8 +75,26 @@ __all__ = [
     "OccupancyResult",
     "profile",
     "format_profile",
+    "timeline_report",
     "ProfileReport",
     "KernelProfile",
+    "Stream",
+    "StreamInterval",
+    "Event",
+    "Timeline",
+    "format_timeline",
+    "DEFAULT_STREAM",
+    "COPY_STREAM",
+    "COMPUTE_STREAM",
+    "DOWNLOAD_STREAM",
+    "FITNESS_DTYPE",
+    "SOLUTION_DTYPE",
+    "DELTA_DTYPE",
+    "REDUCED_INDEX_DTYPE",
+    "FITNESS_BYTES",
+    "SOLUTION_ENTRY_BYTES",
+    "DELTA_PAIR_BYTES",
+    "REDUCED_RESULT_BYTES",
     "GPUTimingModel",
     "HostTimingModel",
     "KernelCostProfile",

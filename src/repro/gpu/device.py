@@ -14,7 +14,7 @@ is irrelevant to the reproduced trends but we stay faithful to the paper).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 
 __all__ = [
     "DeviceSpec",

@@ -1,0 +1,59 @@
+"""Canonical dtypes of the data that crosses the simulated PCIe bus.
+
+Every byte-accounting site (the evaluators' transfer bookkeeping, the
+analytic timing model, the per-iteration estimates) must agree on how wide a
+fitness value or a candidate solution is; deriving the sizes from one shared
+set of dtypes keeps the transfer model consistent with what the functional
+simulator actually stores.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "FITNESS_DTYPE",
+    "SOLUTION_DTYPE",
+    "DELTA_DTYPE",
+    "REDUCED_INDEX_DTYPE",
+    "REDUCED_PAIR_DTYPE",
+    "FITNESS_BYTES",
+    "SOLUTION_ENTRY_BYTES",
+    "DELTA_PAIR_BYTES",
+    "REDUCED_RESULT_BYTES",
+]
+
+#: Fitness values as written by the evaluation kernels and copied back to the
+#: host (the paper stores them as a dense array in global memory).
+FITNESS_DTYPE = np.dtype(np.float64)
+
+#: Candidate solutions as uploaded to the device (int32, as in the paper's
+#: kernels).
+SOLUTION_DTYPE = np.dtype(np.int32)
+
+#: One entry of a delta packet: a ``(replica, bit)`` pair of int32 values
+#: describing one flipped bit of the device-resident solution block.
+DELTA_DTYPE = np.dtype(np.int32)
+
+#: Index half of the fused reduction's per-replica ``(index, fitness)`` result.
+REDUCED_INDEX_DTYPE = np.dtype(np.int64)
+
+#: One per-replica result of the fused neighborhood+reduction launch: the
+#: best admissible move's flat index and its fitness (16 bytes).
+REDUCED_PAIR_DTYPE = np.dtype(
+    [("index", REDUCED_INDEX_DTYPE), ("fitness", np.float64)]
+)
+
+#: Bytes per fitness entry crossing PCIe (device -> host).
+FITNESS_BYTES = FITNESS_DTYPE.itemsize
+
+#: Bytes per solution entry crossing PCIe (host -> device).
+SOLUTION_ENTRY_BYTES = SOLUTION_DTYPE.itemsize
+
+#: Bytes per ``(replica, bit)`` delta pair (host -> device).
+DELTA_PAIR_BYTES = 2 * DELTA_DTYPE.itemsize
+
+#: Bytes per replica of the fused reduction result (device -> host): one
+#: int64 best-move index plus one float64 best fitness — 16 bytes instead of
+#: the ``FITNESS_BYTES * M`` of a full fitness download.
+REDUCED_RESULT_BYTES = REDUCED_PAIR_DTYPE.itemsize

@@ -13,8 +13,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-import numpy as np
-
 from .device import DeviceSpec, GTX_280
 from .kernel import ExecutionMode
 from .runtime import GPUContext

@@ -12,8 +12,15 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from .runtime import DeviceStats, GPUContext
+from .streams import Timeline, format_timeline
 
-__all__ = ["KernelProfile", "ProfileReport", "profile", "format_profile"]
+__all__ = [
+    "KernelProfile",
+    "ProfileReport",
+    "profile",
+    "format_profile",
+    "timeline_report",
+]
 
 
 @dataclass
@@ -57,6 +64,9 @@ class ProfileReport:
     transfer_time: float = 0.0
     h2d_bytes: int = 0
     d2h_bytes: int = 0
+    #: Fused on-device reductions (the resident pipeline's argmin epilogues).
+    reductions: int = 0
+    reduction_time: float = 0.0
 
     @property
     def total_kernel_time(self) -> float:
@@ -64,7 +74,7 @@ class ProfileReport:
 
     @property
     def total_time(self) -> float:
-        return self.total_kernel_time + self.transfer_time
+        return self.total_kernel_time + self.reduction_time + self.transfer_time
 
     def fraction_of_time(self, kernel_name: str) -> float:
         if self.total_time == 0:
@@ -82,6 +92,8 @@ def profile(context_or_stats: GPUContext | DeviceStats) -> ProfileReport:
         transfer_time=stats.transfer_time,
         h2d_bytes=stats.h2d_bytes,
         d2h_bytes=stats.d2h_bytes,
+        reductions=stats.reductions,
+        reduction_time=stats.reduction_time,
     )
     if not stats.launch_records and stats.kernel_launches:
         raise ValueError(
@@ -118,9 +130,31 @@ def format_profile(report: ProfileReport) -> str:
             f"{100 * report.fraction_of_time(name):>5.1f}% {k.mean_time * 1e3:>10.3f}ms "
             f"{k.mean_occupancy:>5.2f} {k.dominant_bound:>8} {batch:>6}"
         )
+    if report.reductions:
+        lines.append(
+            f"{'fused on-device reductions':<58} {report.reductions:>8d} "
+            f"{report.reduction_time:>11.4f}s "
+            f"{100 * (report.reduction_time / report.total_time if report.total_time else 0):>5.1f}%"
+        )
     lines.append(
         f"{'host<->device transfers':<58} {'':>8} {report.transfer_time:>11.4f}s "
         f"{100 * (report.transfer_time / report.total_time if report.total_time else 0):>5.1f}% "
         f"({report.h2d_bytes} B up, {report.d2h_bytes} B down)"
     )
     return "\n".join(lines)
+
+
+def timeline_report(
+    context_or_timeline: GPUContext | Timeline, *, limit: int | None = 40
+) -> str:
+    """Per-stream interval view of a context's recorded activity.
+
+    Complements the per-kernel summary of :func:`format_profile` with the
+    *when* of each operation: which stream it ran on, what it waited for and
+    how much transfer time hid under concurrent kernel execution.
+    """
+    if isinstance(context_or_timeline, GPUContext):
+        timeline = context_or_timeline.timeline
+    else:
+        timeline = context_or_timeline
+    return format_timeline(timeline, limit=limit)

@@ -6,6 +6,20 @@ implementation: the host allocates device buffers, copies the candidate
 solution and problem data up, launches the neighborhood kernel, copies the
 fitness array back and keeps track of how much (simulated) time all of that
 took.
+
+Two issue models coexist:
+
+* the **synchronous** API (:meth:`GPUContext.to_device`,
+  :meth:`GPUContext.launch`, :meth:`GPUContext.to_host`) — every operation
+  runs on the null stream and serializes against all outstanding work, so
+  elapsed time is the plain sum of operation times (the seed behaviour);
+* the **asynchronous** API (:meth:`GPUContext.copy_async`,
+  :meth:`GPUContext.launch_async`, :meth:`GPUContext.download_async`,
+  :meth:`GPUContext.reduce_async`) — operations are issued on named streams
+  and ordered only by the :class:`~repro.gpu.streams.Event` dependencies the
+  caller passes, so a transfer on one stream hides under a kernel running on
+  another.  The overlap-aware elapsed time is :attr:`GPUContext.timeline`'s
+  makespan.
 """
 
 from __future__ import annotations
@@ -18,6 +32,13 @@ from .device import DeviceSpec, GTX_280
 from .hierarchy import DEFAULT_BLOCK_SIZE, LaunchConfig
 from .kernel import ExecutionMode, Kernel, KernelLaunch, normalize_work
 from .memory import MemoryManager, MemorySpace
+from .streams import (
+    COMPUTE_STREAM,
+    COPY_STREAM,
+    DOWNLOAD_STREAM,
+    Event,
+    Timeline,
+)
 from .timing import GPUTimingModel, KernelCostProfile
 
 __all__ = ["DeviceStats", "GPUContext"]
@@ -32,12 +53,20 @@ class DeviceStats:
     transfer_time: float = 0.0
     h2d_bytes: int = 0
     d2h_bytes: int = 0
+    #: Fused on-device reductions (argmin epilogues of the resident pipeline).
+    reductions: int = 0
+    reduction_time: float = 0.0
     launch_records: list[KernelLaunch] = field(default_factory=list)
 
     @property
     def total_time(self) -> float:
-        """Total simulated device-related time (kernels + transfers)."""
-        return self.kernel_time + self.transfer_time
+        """Total simulated device work (kernels + reductions + transfers).
+
+        This is the *serial* sum; when operations were issued on concurrent
+        streams the elapsed time is the context timeline's makespan, which
+        can be smaller.
+        """
+        return self.kernel_time + self.reduction_time + self.transfer_time
 
     def reset(self) -> None:
         self.kernel_launches = 0
@@ -45,6 +74,8 @@ class DeviceStats:
         self.transfer_time = 0.0
         self.h2d_bytes = 0
         self.d2h_bytes = 0
+        self.reductions = 0
+        self.reduction_time = 0.0
         self.launch_records.clear()
 
 
@@ -75,6 +106,7 @@ class GPUContext:
         self.memory = MemoryManager(capacity_bytes=device.global_mem_bytes)
         self.timing = GPUTimingModel(device)
         self.stats = DeviceStats()
+        self.timeline = Timeline()
         self.keep_launch_records = keep_launch_records
 
     # ------------------------------------------------------------------
@@ -83,17 +115,25 @@ class GPUContext:
     def to_device(
         self, name: str, host_array: np.ndarray, space: MemorySpace = MemorySpace.GLOBAL
     ):
-        """Copy ``host_array`` into device buffer ``name`` (allocating it if new)."""
+        """Copy ``host_array`` into device buffer ``name`` (allocating it if new).
+
+        Synchronous (null-stream) semantics: the copy starts only after every
+        outstanding operation on every stream has completed.
+        """
         buf = self.memory.to_device(name, host_array, space)
-        self.stats.transfer_time += self.timing.transfer_time(buf.nbytes)
+        duration = self.timing.transfer_time(buf.nbytes)
+        self.stats.transfer_time += duration
         self.stats.h2d_bytes += buf.nbytes
+        self.timeline.schedule_sync("h2d", name, duration)
         return buf
 
     def to_host(self, name: str) -> np.ndarray:
-        """Copy device buffer ``name`` back to the host."""
+        """Copy device buffer ``name`` back to the host (null-stream semantics)."""
         out = self.memory.to_host(name)
-        self.stats.transfer_time += self.timing.transfer_time(out.nbytes)
+        duration = self.timing.transfer_time(out.nbytes)
+        self.stats.transfer_time += duration
         self.stats.d2h_bytes += out.nbytes
+        self.timeline.schedule_sync("d2h", name, duration)
         return out
 
     def alloc(self, name: str, shape, dtype=np.float64, space: MemorySpace = MemorySpace.GLOBAL):
@@ -103,29 +143,36 @@ class GPUContext:
     def free(self, name: str) -> None:
         self.memory.free(name)
 
+    def free_evaluator_buffers(self, owner) -> int:
+        """Free every named buffer belonging to ``owner`` (an evaluator or its id).
+
+        Evaluators name their persistent device buffers ``"<kind>:<id>"``
+        (optionally with further ``:`` suffixes); when many evaluators share
+        one context those allocations would otherwise accumulate as simulated
+        device-memory leaks.  Returns the number of buffers freed.
+        """
+        owner_id = str(owner if isinstance(owner, int) else id(owner))
+        names = [
+            name for name in self.memory.allocations if owner_id in name.split(":")[1:]
+        ]
+        for name in names:
+            self.memory.free(name)
+        return len(names)
+
     # ------------------------------------------------------------------
     # Kernel launches (timed)
     # ------------------------------------------------------------------
-    def launch(
+    def _execute_and_time(
         self,
         kernel: Kernel,
         active_threads: int | tuple[int, ...],
         args,
         *,
-        block_size: int = DEFAULT_BLOCK_SIZE,
-        config: LaunchConfig | None = None,
-        cost: KernelCostProfile | None = None,
+        block_size: int,
+        config: LaunchConfig | None,
+        cost: KernelCostProfile | None,
     ) -> KernelLaunch:
-        """Execute ``kernel`` over ``active_threads`` logical work items.
-
-        ``active_threads`` is either a plain thread count (the paper's 1-D
-        one-thread-per-neighbor launch) or a logical work shape such as
-        ``(S, M)`` for a solution-parallel batch of ``S`` replicas — the
-        launch then covers the product and the shape is recorded so the
-        profiler can attribute the time to a batched launch.  Functional
-        results are written into the arrays in ``args``; the simulated
-        execution time is added to :attr:`stats`.
-        """
+        """Run the kernel body functionally and produce its launch record."""
         total_active, work_shape = normalize_work(active_threads)
         if total_active <= 0:
             raise ValueError(f"active_threads must be positive, got {active_threads}")
@@ -153,11 +200,146 @@ class GPUContext:
             self.stats.launch_records.append(record)
         return record
 
+    def launch(
+        self,
+        kernel: Kernel,
+        active_threads: int | tuple[int, ...],
+        args,
+        *,
+        block_size: int = DEFAULT_BLOCK_SIZE,
+        config: LaunchConfig | None = None,
+        cost: KernelCostProfile | None = None,
+    ) -> KernelLaunch:
+        """Execute ``kernel`` over ``active_threads`` logical work items.
+
+        ``active_threads`` is either a plain thread count (the paper's 1-D
+        one-thread-per-neighbor launch) or a logical work shape such as
+        ``(S, M)`` for a solution-parallel batch of ``S`` replicas — the
+        launch then covers the product and the shape is recorded so the
+        profiler can attribute the time to a batched launch.  Functional
+        results are written into the arrays in ``args``; the simulated
+        execution time is added to :attr:`stats`.  Null-stream semantics: the
+        launch serializes against all outstanding asynchronous work.
+        """
+        record = self._execute_and_time(
+            kernel, active_threads, args, block_size=block_size, config=config, cost=cost
+        )
+        self.timeline.schedule_sync("kernel", kernel.name, record.time.total_time)
+        return record
+
+    # ------------------------------------------------------------------
+    # Asynchronous (stream-ordered) operations
+    # ------------------------------------------------------------------
+    def copy_async(
+        self,
+        name: str,
+        host_array: np.ndarray,
+        *,
+        stream: str = COPY_STREAM,
+        wait_for: Event | list[Event] | None = None,
+        not_before: float = 0.0,
+        space: MemorySpace = MemorySpace.GLOBAL,
+    ) -> Event:
+        """Host -> device copy issued on ``stream``; returns its completion event.
+
+        Unlike :meth:`to_device` the buffer is transparently reallocated when
+        the staged array's geometry changes (delta packets shrink and grow
+        with the number of still-active replicas).
+        """
+        host_array = np.asarray(host_array)
+        existing = self.memory.allocations.get(name)
+        if existing is not None and (
+            existing.data.shape != host_array.shape or existing.data.dtype != host_array.dtype
+        ):
+            self.memory.free(name)
+        buf = self.memory.to_device(name, host_array, space)
+        duration = self.timing.transfer_time(buf.nbytes)
+        self.stats.transfer_time += duration
+        self.stats.h2d_bytes += buf.nbytes
+        interval = self.timeline.schedule(
+            "h2d", name, duration, stream=stream, wait_for=wait_for, not_before=not_before
+        )
+        return Event(stream=stream, time=interval.end)
+
+    def download_async(
+        self,
+        name: str,
+        *,
+        stream: str = DOWNLOAD_STREAM,
+        wait_for: Event | list[Event] | None = None,
+        not_before: float = 0.0,
+    ) -> tuple[np.ndarray, Event]:
+        """Device -> host copy issued on ``stream``; returns (data, event)."""
+        out = self.memory.to_host(name)
+        duration = self.timing.transfer_time(out.nbytes)
+        self.stats.transfer_time += duration
+        self.stats.d2h_bytes += out.nbytes
+        interval = self.timeline.schedule(
+            "d2h", name, duration, stream=stream, wait_for=wait_for, not_before=not_before
+        )
+        return out, Event(stream=stream, time=interval.end)
+
+    def launch_async(
+        self,
+        kernel: Kernel,
+        active_threads: int | tuple[int, ...],
+        args,
+        *,
+        stream: str = COMPUTE_STREAM,
+        wait_for: Event | list[Event] | None = None,
+        not_before: float = 0.0,
+        block_size: int = DEFAULT_BLOCK_SIZE,
+        config: LaunchConfig | None = None,
+        cost: KernelCostProfile | None = None,
+    ) -> tuple[KernelLaunch, Event]:
+        """Issue a kernel on ``stream``, ordered only by ``wait_for`` events."""
+        record = self._execute_and_time(
+            kernel, active_threads, args, block_size=block_size, config=config, cost=cost
+        )
+        interval = self.timeline.schedule(
+            "kernel",
+            kernel.name,
+            record.time.total_time,
+            stream=stream,
+            wait_for=wait_for,
+            not_before=not_before,
+        )
+        return record, Event(stream=stream, time=interval.end)
+
+    def reduce_async(
+        self,
+        name: str,
+        num_elements: int,
+        *,
+        stream: str = COMPUTE_STREAM,
+        wait_for: Event | list[Event] | None = None,
+        not_before: float = 0.0,
+    ) -> Event:
+        """Account a fused on-device min/argmin reduction over ``num_elements``.
+
+        The functional result is produced by the caller (the simulator's
+        evaluators compute it with NumPy); this method charges the
+        :meth:`~repro.gpu.timing.GPUTimingModel.reduction_time` cost and
+        places the pass on the stream timeline.
+        """
+        duration = self.timing.reduction_time(num_elements)
+        self.stats.reductions += 1
+        self.stats.reduction_time += duration
+        interval = self.timeline.schedule(
+            "reduce", name, duration, stream=stream, wait_for=wait_for, not_before=not_before
+        )
+        return Event(stream=stream, time=interval.end)
+
+    def synchronize(self) -> float:
+        """Host-side sync point: the simulated instant all streams drain."""
+        return self.timeline.elapsed
+
     # ------------------------------------------------------------------
     def reset(self) -> None:
-        """Clear statistics and transfer logs (allocations survive)."""
+        """Clear statistics, transfer logs and the stream timeline (allocations survive)."""
         self.stats.reset()
         self.memory.reset_statistics()
+        self.timeline.reset()
 
     def __repr__(self) -> str:  # pragma: no cover
         return f"GPUContext(device={self.device.name!r}, mode={self.mode.value})"

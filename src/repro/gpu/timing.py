@@ -25,9 +25,10 @@ EXPERIMENTS.md.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from .device import DeviceSpec, HostSpec
+from .dtypes import FITNESS_BYTES
 from .hierarchy import LaunchConfig
 from .occupancy import OccupancyResult, occupancy
 
@@ -184,7 +185,7 @@ class GPUTimingModel:
         """
         if num_elements < 0:
             raise ValueError("num_elements must be non-negative")
-        bytes_read = 4.0 * num_elements
+        bytes_read = float(FITNESS_BYTES) * num_elements
         return self.device.kernel_launch_overhead + bytes_read / self.device.sustained_bandwidth
 
 

@@ -11,6 +11,7 @@ from .ablations import (
 from .config import PAPER, REDUCED, SMOKE, ExperimentScale, get_scale
 from .experiment import (
     EVALUATOR_SPECS,
+    TRANSFER_MODES,
     TRIAL_MODES,
     ExperimentRow,
     TrialRecord,
@@ -21,6 +22,7 @@ from .experiment import (
 from .figures import PAPER_FIGURE8_REFERENCE, Figure8Point, figure_eight
 from .io import load_rows, points_to_json, rows_from_json, rows_to_json, save_figure8, save_rows
 from .reporting import (
+    format_bytes,
     format_experiment_table,
     format_figure8_series,
     format_time,
@@ -52,6 +54,7 @@ __all__ = [
     "scale_experiment_rows",
     "EVALUATOR_SPECS",
     "TRIAL_MODES",
+    "TRANSFER_MODES",
     "resolve_evaluator_factory",
     "table_one",
     "table_two",
@@ -61,6 +64,7 @@ __all__ = [
     "Figure8Point",
     "figure_eight",
     "PAPER_FIGURE8_REFERENCE",
+    "format_bytes",
     "format_experiment_table",
     "format_figure8_series",
     "format_time",

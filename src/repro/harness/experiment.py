@@ -10,8 +10,6 @@ from __future__ import annotations
 
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
-from typing import Sequence
-
 import numpy as np
 
 from ..core.evaluators import (
@@ -22,10 +20,10 @@ from ..core.evaluators import (
     SequentialEvaluator,
 )
 from ..core.timing_estimates import iteration_times
+from ..localsearch.base import TRANSFER_MODES
 from ..localsearch.multistart import MultiStartRunner
 from ..localsearch.tabu import TabuSearch
 from ..neighborhoods import KHammingNeighborhood
-from ..problems import PermutedPerceptronProblem
 from ..problems.instances import PPPInstanceSpec, instance_seed, make_table_instance
 from .config import ExperimentScale
 
@@ -36,6 +34,7 @@ __all__ = [
     "EVALUATOR_SPECS",
     "resolve_evaluator_factory",
     "TRIAL_MODES",
+    "TRANSFER_MODES",
 ]
 
 #: Trial execution strategies of :func:`run_ppp_experiment`: one search at a
@@ -95,6 +94,15 @@ class ExperimentRow:
     #: Modeled single-iteration times for this instance/neighborhood.
     cpu_time_per_iteration: float = 0.0
     gpu_time_per_iteration: float = 0.0
+    #: Transfer/timeline accounting of the run (populated when the trials
+    #: execute on a simulated device).
+    transfer_mode: str = "full"
+    h2d_bytes: int = 0
+    d2h_bytes: int = 0
+    #: Overlap-aware elapsed simulated device time (stream-timeline makespan).
+    sim_elapsed_s: float = 0.0
+    #: Transfer time hidden under concurrent kernel execution.
+    overlap_saved_s: float = 0.0
 
     # ------------------------------------------------------------------
     @property
@@ -149,7 +157,28 @@ class ExperimentRow:
             "cpu_time_s": self.cpu_time,
             "gpu_time_s": self.gpu_time,
             "acceleration": self.acceleration,
+            "transfer_mode": self.transfer_mode,
+            "h2d_bytes": self.h2d_bytes,
+            "d2h_bytes": self.d2h_bytes,
+            "sim_elapsed_s": self.sim_elapsed_s,
+            "overlap_saved_s": self.overlap_saved_s,
         }
+
+
+def _collect_transfer_stats(evaluator, row: ExperimentRow) -> None:
+    """Fill the row's transfer/timeline columns from a device-backed evaluator."""
+    contexts = []
+    if hasattr(evaluator, "context"):
+        contexts = [evaluator.context]
+    elif hasattr(evaluator, "pool"):
+        contexts = list(evaluator.pool.contexts)
+    if not contexts:
+        return
+    row.h2d_bytes = sum(ctx.stats.h2d_bytes for ctx in contexts)
+    row.d2h_bytes = sum(ctx.stats.d2h_bytes for ctx in contexts)
+    # Concurrent devices: the elapsed makespan is the slowest device's.
+    row.sim_elapsed_s = max(ctx.timeline.elapsed for ctx in contexts)
+    row.overlap_saved_s = sum(ctx.timeline.overlap_saved for ctx in contexts)
 
 
 def _run_single_trial(
@@ -160,6 +189,7 @@ def _run_single_trial(
     seed: int,
     trial: int,
     evaluator: str = "cpu",
+    transfer_mode: str = "full",
 ) -> TrialRecord:
     """Worker executing one tabu-search trial (used by the parallel runner).
 
@@ -172,7 +202,10 @@ def _run_single_trial(
     neighborhood = KHammingNeighborhood(problem.n, order)
     factory = resolve_evaluator_factory(evaluator)
     search = TabuSearch(
-        factory(problem, neighborhood), tenure=tenure, max_iterations=max_iterations
+        factory(problem, neighborhood),
+        tenure=tenure,
+        max_iterations=max_iterations,
+        transfer_mode=transfer_mode,
     )
     result = search.run(rng=seed)
     return TrialRecord(
@@ -196,6 +229,7 @@ def run_ppp_experiment(
     track_history: bool = False,
     n_jobs: int = 1,
     trial_mode: str = "serial",
+    transfer_mode: str = "full",
 ) -> ExperimentRow:
     """Run the paper's tabu-search protocol on one instance and one neighborhood.
 
@@ -238,6 +272,12 @@ def run_ppp_experiment(
           :class:`~repro.localsearch.multistart.MultiStartRunner`, one
           batched ``(S, n) -> (S, M)`` evaluation per iteration — the
           solution-parallel execution engine.
+    transfer_mode:
+        One of :data:`TRANSFER_MODES` (``"full"``, ``"delta"``,
+        ``"reduced"``): how candidate data moves between host and device
+        each iteration.  The non-default modes need a device-backed
+        evaluator (``"gpu"`` / ``"multi-gpu"``); per-trial records are
+        bit-identical across all modes.
     """
     if not isinstance(spec, PPPInstanceSpec):
         spec = PPPInstanceSpec(*spec)
@@ -249,6 +289,10 @@ def run_ppp_experiment(
         raise ValueError(f"n_jobs must be >= 1, got {n_jobs}")
     if trial_mode not in TRIAL_MODES:
         raise ValueError(f"unknown trial_mode {trial_mode!r}; expected one of {TRIAL_MODES}")
+    if transfer_mode not in TRANSFER_MODES:
+        raise ValueError(
+            f"unknown transfer_mode {transfer_mode!r}; expected one of {TRANSFER_MODES}"
+        )
     if trial_mode == "serial" and n_jobs > 1:
         trial_mode = "parallel"
     if trial_mode == "parallel":
@@ -273,6 +317,7 @@ def run_ppp_experiment(
         order=order,
         cpu_time_per_iteration=per_iteration.cpu_time,
         gpu_time_per_iteration=per_iteration.gpu_time,
+        transfer_mode=transfer_mode,
     )
 
     seeds = [
@@ -286,7 +331,7 @@ def run_ppp_experiment(
             futures = [
                 pool.submit(
                     _run_single_trial, (spec.m, spec.n), order, max_iterations, tenure,
-                    seeds[trial], trial, evaluator_name,
+                    seeds[trial], trial, evaluator_name, transfer_mode,
                 )
                 for trial in range(trials)
             ]
@@ -303,6 +348,7 @@ def run_ppp_experiment(
             tenure=tenure,
             max_iterations=max_iterations,
             track_history=track_history,
+            transfer_mode=transfer_mode,
         )
         multi = runner.run(seeds=seeds)
         row.trials.extend(
@@ -315,6 +361,7 @@ def run_ppp_experiment(
             )
             for trial, result in enumerate(multi)
         )
+        _collect_transfer_stats(evaluator, row)
         return row
 
     search = TabuSearch(
@@ -322,6 +369,7 @@ def run_ppp_experiment(
         tenure=tenure,
         max_iterations=max_iterations,
         track_history=track_history,
+        transfer_mode=transfer_mode,
     )
     for trial in range(trials):
         result = search.run(rng=seeds[trial])
@@ -334,6 +382,7 @@ def run_ppp_experiment(
                 wall_time=result.wall_time,
             )
         )
+    _collect_transfer_stats(evaluator, row)
     return row
 
 
@@ -344,6 +393,7 @@ def scale_experiment_rows(
     evaluator_factory=None,
     trial_mode: str = "serial",
     n_jobs: int = 1,
+    transfer_mode: str = "full",
 ) -> list[ExperimentRow]:
     """Run one table's worth of experiments (every instance of ``scale``)."""
     rows = []
@@ -357,6 +407,7 @@ def scale_experiment_rows(
                 evaluator_factory=evaluator_factory,
                 trial_mode=trial_mode,
                 n_jobs=n_jobs,
+                transfer_mode=transfer_mode,
             )
         )
     return rows

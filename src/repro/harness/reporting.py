@@ -13,6 +13,7 @@ from .experiment import ExperimentRow
 from .figures import Figure8Point
 
 __all__ = [
+    "format_bytes",
     "format_experiment_table",
     "format_figure8_series",
     "format_time",
@@ -35,6 +36,16 @@ def format_time(seconds: float) -> str:
     return f"{seconds / 3600:.1f}h"
 
 
+def format_bytes(count: int) -> str:
+    """Human-readable byte count (PCIe traffic columns)."""
+    value = float(count)
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if abs(value) < 1024 or unit == "GiB":
+            return f"{value:.0f}{unit}" if unit == "B" else f"{value:.1f}{unit}"
+        value /= 1024
+    return f"{value:.1f}GiB"  # pragma: no cover - loop always returns
+
+
 def render_markdown_table(headers: Sequence[str], rows: Iterable[Sequence[str]]) -> str:
     """Render a GitHub-flavoured markdown table."""
     lines = ["| " + " | ".join(headers) + " |", "|" + "|".join("---" for _ in headers) + "|"]
@@ -48,8 +59,17 @@ def format_experiment_table(
     *,
     title: str | None = None,
     include_acceleration: bool = True,
+    include_transfers: bool | None = None,
 ) -> str:
-    """Format one reproduced table in the paper's column layout."""
+    """Format one reproduced table in the paper's column layout.
+
+    ``include_transfers`` appends the device-pipeline columns (transfer
+    mode, PCIe traffic, stream-overlap savings); by default they appear
+    automatically when any row carries transfer accounting (i.e. the trials
+    ran on a simulated device).
+    """
+    if include_transfers is None:
+        include_transfers = any(row.h2d_bytes or row.d2h_bytes for row in rows)
     headers = [
         "Problem",
         "Fitness",
@@ -60,6 +80,8 @@ def format_experiment_table(
     ]
     if include_acceleration:
         headers.append("Acceleration")
+    if include_transfers:
+        headers.extend(["Mode", "H2D", "D2H", "Overlap saved"])
     body = []
     for row in rows:
         cells = [
@@ -72,6 +94,13 @@ def format_experiment_table(
         ]
         if include_acceleration:
             cells.append(f"x{row.acceleration:.1f}")
+        if include_transfers:
+            cells.extend([
+                row.transfer_mode,
+                format_bytes(row.h2d_bytes),
+                format_bytes(row.d2h_bytes),
+                format_time(row.overlap_saved_s),
+            ])
         body.append(cells)
     table = render_markdown_table(headers, body)
     if title:

@@ -21,7 +21,18 @@ from ..problems.base import flip_bits
 from .result import LSResult
 from .stopping import AnyOf, MaxIterations, SearchState, StoppingCriterion, TargetFitness
 
-__all__ = ["NeighborhoodLocalSearch"]
+__all__ = ["NeighborhoodLocalSearch", "TRANSFER_MODES"]
+
+#: How candidate data moves between host and (simulated) device each iteration:
+#:
+#: * ``"full"``    — upload the solution, download every fitness (the seed
+#:   behaviour, and the only possibility on the CPU backends);
+#: * ``"delta"``   — the solution block stays device-resident, only the
+#:   flipped-bit ``(replica, bit)`` pairs go up; the fitness matrix still
+#:   comes down for host-side selection;
+#: * ``"reduced"`` — delta uploads plus the fused neighborhood+reduction
+#:   launch: only the per-replica best ``(index, fitness)`` pair comes down.
+TRANSFER_MODES = ("full", "delta", "reduced")
 
 
 class NeighborhoodLocalSearch(abc.ABC):
@@ -40,10 +51,22 @@ class NeighborhoodLocalSearch(abc.ABC):
         stops at ``max_iterations`` or when the target fitness is reached.
     track_history:
         Record the best fitness after every iteration in the result.
+    transfer_mode:
+        One of :data:`TRANSFER_MODES`.  The ``"delta"`` and ``"reduced"``
+        modes need an evaluator with device-resident support (the GPU
+        backends); ``"reduced"`` additionally needs the algorithm to define
+        its fused reduction (:attr:`reduction` and
+        :meth:`select_from_reduced`).  All modes follow bit-identical
+        trajectories for the same seeds.
     """
 
     #: Display name used by the harness.
     name: str = "local-search"
+
+    #: Fused reduction op used by ``transfer_mode="reduced"``; ``None`` means
+    #: the algorithm needs the full fitness array (e.g. stochastic acceptance)
+    #: and cannot run the reduced path.
+    reduction: str | None = None
 
     def __init__(
         self,
@@ -53,6 +76,7 @@ class NeighborhoodLocalSearch(abc.ABC):
         max_iterations: int | None = None,
         target_fitness: float = 0.0,
         track_history: bool = False,
+        transfer_mode: str = "full",
     ) -> None:
         self.evaluator = evaluator
         self.problem = evaluator.problem
@@ -64,6 +88,21 @@ class NeighborhoodLocalSearch(abc.ABC):
             stopping = AnyOf(TargetFitness(target_fitness), MaxIterations(max_iterations))
         self.stopping = stopping
         self.track_history = bool(track_history)
+        if transfer_mode not in TRANSFER_MODES:
+            raise ValueError(
+                f"unknown transfer_mode {transfer_mode!r}; expected one of {TRANSFER_MODES}"
+            )
+        if transfer_mode != "full" and not evaluator.supports_device_residency:
+            raise ValueError(
+                f"transfer_mode={transfer_mode!r} needs a device-resident evaluator "
+                f"(got {type(evaluator).__name__}); use the GPU backends or \"full\""
+            )
+        if transfer_mode == "reduced" and self.reduction is None:
+            raise ValueError(
+                f"{type(self).__name__} does not define a fused reduction; "
+                "use transfer_mode=\"full\" or \"delta\""
+            )
+        self.transfer_mode = transfer_mode
 
     # ------------------------------------------------------------------
     # Hooks implemented by concrete algorithms
@@ -84,6 +123,30 @@ class NeighborhoodLocalSearch(abc.ABC):
 
     def on_move_applied(self, selected: SelectedMove, iteration: int) -> None:
         """Per-iteration bookkeeping after a move has been accepted."""
+
+    # ------------------------------------------------------------------
+    # Hooks of the reduced transfer path (algorithms that define
+    # :attr:`reduction` must implement :meth:`select_from_reduced`).
+    # ------------------------------------------------------------------
+    def reduction_inputs(
+        self, current_fitness: float, best_fitness: float, iteration: int
+    ) -> dict:
+        """Extra per-iteration inputs of the fused reduction (masks, thresholds)."""
+        return {}
+
+    def select_from_reduced(
+        self,
+        index: int,
+        fitness: float,
+        current_fitness: float,
+        best_fitness: float,
+        iteration: int,
+    ) -> SelectedMove | None:
+        """Turn the device-reduced ``(index, fitness)`` pair into a move."""
+        raise NotImplementedError(
+            f"{type(self).__name__} declares reduction={self.reduction!r} but does not "
+            "implement select_from_reduced"
+        )
 
     # ------------------------------------------------------------------
     # The general LS loop of the paper's Fig. 1
@@ -115,6 +178,11 @@ class NeighborhoodLocalSearch(abc.ABC):
         since_improvement = 0
         stopping_reason = "max_iterations"
 
+        resident = self.transfer_mode != "full"
+        if resident:
+            # Device-resident pipeline: the solution crosses PCIe once, here.
+            self.evaluator.begin_search(current[None, :])
+
         while True:
             state = SearchState(
                 iteration=iteration,
@@ -128,8 +196,24 @@ class NeighborhoodLocalSearch(abc.ABC):
                 break
 
             # Generate + evaluate the whole neighborhood (the GPU step).
-            fitnesses = self.evaluator.evaluate(current)
-            selected = self.select_move(fitnesses, current_fitness, best_fitness, iteration, rng)
+            if self.transfer_mode == "reduced":
+                # Fused neighborhood+reduction launch: only the best
+                # (index, fitness) pair comes back.
+                indices, fits = self.evaluator.evaluate_resident(
+                    reduce=self.reduction,
+                    **self.reduction_inputs(current_fitness, best_fitness, iteration),
+                )
+                selected = self.select_from_reduced(
+                    int(indices[0]), float(fits[0]), current_fitness, best_fitness, iteration
+                )
+            else:
+                if resident:
+                    fitnesses = self.evaluator.evaluate_resident()[0]
+                else:
+                    fitnesses = self.evaluator.evaluate(current)
+                selected = self.select_move(
+                    fitnesses, current_fitness, best_fitness, iteration, rng
+                )
             if selected is None:
                 stopping_reason = "local_optimum"
                 break
@@ -137,6 +221,9 @@ class NeighborhoodLocalSearch(abc.ABC):
             # Apply the selected move.
             move = self.neighborhood.mapping.from_flat(selected.index)
             current = flip_bits(current, move)
+            if resident:
+                move_bits = np.atleast_1d(np.asarray(move, dtype=np.int64))
+                self.evaluator.apply_deltas(np.zeros(move_bits.size, dtype=np.int64), move_bits)
             current_fitness = selected.fitness
             self.on_move_applied(selected, iteration)
 
@@ -150,6 +237,9 @@ class NeighborhoodLocalSearch(abc.ABC):
             iteration += 1
             if self.track_history:
                 history.append(best_fitness)
+
+        if resident:
+            self.evaluator.end_search()
 
         return LSResult(
             best_solution=best,

@@ -19,6 +19,7 @@ class HillClimbing(NeighborhoodLocalSearch):
     """
 
     name = "hill-climbing"
+    reduction = "argmin"
 
     def select_move(
         self,
@@ -33,6 +34,18 @@ class HillClimbing(NeighborhoodLocalSearch):
             return None  # local optimum
         return selected
 
+    def select_from_reduced(
+        self,
+        index: int,
+        fitness: float,
+        current_fitness: float,
+        best_fitness: float,
+        iteration: int,
+    ) -> SelectedMove | None:
+        if fitness >= current_fitness:
+            return None  # local optimum
+        return SelectedMove(index=index, fitness=fitness)
+
 
 class FirstImprovementHillClimbing(NeighborhoodLocalSearch):
     """First-improvement descent.
@@ -44,6 +57,7 @@ class FirstImprovementHillClimbing(NeighborhoodLocalSearch):
     """
 
     name = "first-improvement"
+    reduction = "first-improvement"
 
     def select_move(
         self,
@@ -54,3 +68,20 @@ class FirstImprovementHillClimbing(NeighborhoodLocalSearch):
         rng: np.random.Generator,
     ) -> SelectedMove | None:
         return first_improving_move(fitnesses, current_fitness)
+
+    def reduction_inputs(
+        self, current_fitness: float, best_fitness: float, iteration: int
+    ) -> dict:
+        return {"thresholds": np.array([current_fitness], dtype=np.float64)}
+
+    def select_from_reduced(
+        self,
+        index: int,
+        fitness: float,
+        current_fitness: float,
+        best_fitness: float,
+        iteration: int,
+    ) -> SelectedMove | None:
+        if index < 0:
+            return None  # no improving neighbor: local optimum
+        return SelectedMove(index=index, fitness=fitness)

@@ -25,8 +25,9 @@ from typing import Iterator, Sequence
 
 import numpy as np
 
-from ..core.evaluators import NeighborhoodEvaluator
+from ..core.evaluators import NeighborhoodEvaluator, _fused_reduce
 from ..problems.base import as_solution
+from .base import TRANSFER_MODES
 from .result import LSResult
 
 __all__ = ["MultiStartResult", "MultiStartRunner"]
@@ -108,6 +109,13 @@ class MultiStartRunner:
     track_history:
         Record each replica's best fitness after every one of its
         iterations.
+    transfer_mode:
+        One of :data:`~repro.localsearch.base.TRANSFER_MODES`.  ``"delta"``
+        keeps the solution block device-resident and uploads only flipped
+        bits; ``"reduced"`` additionally runs the fused on-device reduction
+        so only ``(index, fitness)`` pairs come back — 16 bytes per replica
+        instead of the whole fitness row.  Both need a device-resident
+        evaluator and follow bit-identical trajectories to ``"full"``.
     """
 
     ALGORITHMS = ("tabu", "hill-climbing", "first-improvement")
@@ -122,11 +130,22 @@ class MultiStartRunner:
         max_iterations: int | None = None,
         target_fitness: float = 0.0,
         track_history: bool = False,
+        transfer_mode: str = "full",
     ) -> None:
         if algorithm not in self.ALGORITHMS:
             raise ValueError(
                 f"unknown algorithm {algorithm!r}; expected one of {self.ALGORITHMS}"
             )
+        if transfer_mode not in TRANSFER_MODES:
+            raise ValueError(
+                f"unknown transfer_mode {transfer_mode!r}; expected one of {TRANSFER_MODES}"
+            )
+        if transfer_mode != "full" and not evaluator.supports_device_residency:
+            raise ValueError(
+                f"transfer_mode={transfer_mode!r} needs a device-resident evaluator "
+                f"(got {type(evaluator).__name__}); use the GPU backends or \"full\""
+            )
+        self.transfer_mode = transfer_mode
         self.evaluator = evaluator
         self.problem = evaluator.problem
         self.neighborhood = evaluator.neighborhood
@@ -196,7 +215,12 @@ class MultiStartRunner:
 
         Returns ``(indices, selected_fitness, stop_mask)`` over the active
         replicas; ``stop_mask`` marks replicas that hit a local optimum
-        (hill-climbing rules only — the tabu rule always moves).
+        (hill-climbing rules only — the tabu rule always moves).  The
+        selection core is :func:`~repro.core.evaluators._fused_reduce` —
+        the same function the device-resident pipeline fuses into its
+        reduction epilogue — so the ``full``/``delta`` host-side paths and
+        the ``reduced`` on-device path share one definition and stay
+        bit-identical by construction.
         """
         num_active = fitnesses.shape[0]
         rows = np.arange(num_active)
@@ -205,25 +229,76 @@ class MultiStartRunner:
                 admissible = np.ones_like(fitnesses, dtype=bool)
             else:
                 admissible = (iterations[:, None] - last_applied) > self.tenure
-            if self.aspiration:
-                admissible |= fitnesses < best_fitness[:, None]
-            candidates = np.where(admissible, fitnesses, np.inf)
-            indices = candidates.argmin(axis=1)
+            indices, selected = _fused_reduce(
+                fitnesses,
+                "argmin",
+                admissible,
+                best_fitness if self.aspiration else None,
+                None,
+            )
             # Robust-tabu escape: when every move of a replica is
             # inadmissible, fall back to its oldest tabu move.
-            blocked = ~admissible.any(axis=1)
+            blocked = indices < 0
             if blocked.any():
                 indices = np.where(blocked, last_applied.argmin(axis=1), indices)
-            return indices, fitnesses[rows, indices], np.zeros(num_active, dtype=bool)
+                selected = np.where(blocked, fitnesses[rows, indices], selected)
+            return indices, selected, np.zeros(num_active, dtype=bool)
         if self.algorithm == "hill-climbing":
-            indices = fitnesses.argmin(axis=1)
-            selected = fitnesses[rows, indices]
+            indices, selected = _fused_reduce(fitnesses, "argmin", None, None, None)
             return indices, selected, selected >= current_fitness
         # first-improvement
-        improving = fitnesses < current_fitness[:, None]
-        has_improving = improving.any(axis=1)
-        indices = improving.argmax(axis=1)
-        return indices, fitnesses[rows, indices], ~has_improving
+        indices, selected = _fused_reduce(
+            fitnesses, "first-improvement", None, None, current_fitness
+        )
+        stopped = indices < 0
+        return np.where(stopped, 0, indices), selected, stopped
+
+    # ------------------------------------------------------------------
+    def _select_reduced(
+        self,
+        active_idx: np.ndarray,
+        current_fitness: np.ndarray,
+        best_fitness: np.ndarray,
+        iterations: np.ndarray,
+        last_applied: np.ndarray | None,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Reduced transfer path: selection happens inside the fused reduction.
+
+        Device-side semantics exactly mirror :meth:`_select`, so the
+        trajectories stay bit-identical; only ``(index, fitness)`` pairs —
+        plus, for tabu, the admissibility mask going up — cross PCIe.
+        """
+        num_active = active_idx.size
+        if self.algorithm == "tabu":
+            if self.tenure == 0:
+                admissible = np.ones((num_active, self.neighborhood.size), dtype=bool)
+            else:
+                admissible = (iterations[:, None] - last_applied) > self.tenure
+            indices, fits = self.evaluator.evaluate_resident(
+                active_idx,
+                reduce="argmin",
+                admissible=admissible,
+                aspiration_fitness=best_fitness if self.aspiration else None,
+            )
+            blocked = indices < 0
+            if blocked.any():
+                # Robust-tabu escape: the host falls back to the oldest tabu
+                # move and fetches just that move's fitness (8 bytes each).
+                indices = np.where(blocked, last_applied.argmin(axis=1), indices)
+                fits = fits.copy()
+                fits[blocked] = self.evaluator.fetch_fitnesses(
+                    active_idx[blocked], indices[blocked]
+                )
+            return indices, fits, np.zeros(num_active, dtype=bool)
+        if self.algorithm == "hill-climbing":
+            indices, fits = self.evaluator.evaluate_resident(active_idx, reduce="argmin")
+            return indices, fits, fits >= current_fitness
+        # first-improvement
+        indices, fits = self.evaluator.evaluate_resident(
+            active_idx, reduce="first-improvement", thresholds=current_fitness
+        )
+        stopped = indices < 0
+        return np.where(stopped, 0, indices), fits, stopped
 
     # ------------------------------------------------------------------
     def run(
@@ -261,6 +336,12 @@ class MultiStartRunner:
             else None
         )
 
+        resident = self.transfer_mode != "full"
+        if resident:
+            # The whole (R, n) block crosses PCIe once; afterwards only
+            # flipped-bit deltas go up.
+            self.evaluator.begin_search(current)
+
         lockstep = 0
         while True:
             # Per-replica stopping checks, in the scalar loop's order:
@@ -278,20 +359,31 @@ class MultiStartRunner:
             # single S x M GPU launch of the solution-parallel engine).
             step_wall = time.perf_counter()
             step_sim = self.evaluator.stats.simulated_time
-            fitnesses = self.evaluator.evaluate_many(current[active_idx])
+            sub_last = last_applied[active_idx] if last_applied is not None else None
+            if self.transfer_mode == "reduced":
+                indices, selected_fitness, optima = self._select_reduced(
+                    active_idx,
+                    current_fitness[active_idx],
+                    best_fitness[active_idx],
+                    iterations[active_idx],
+                    sub_last,
+                )
+            else:
+                if resident:
+                    fitnesses = self.evaluator.evaluate_resident(active_idx)
+                else:
+                    fitnesses = self.evaluator.evaluate_many(current[active_idx])
+                indices, selected_fitness, optima = self._select(
+                    fitnesses,
+                    current_fitness[active_idx],
+                    best_fitness[active_idx],
+                    iterations[active_idx],
+                    sub_last,
+                )
             sim_share[active_idx] += (
                 self.evaluator.stats.simulated_time - step_sim
             ) / active_idx.size
             evaluations[active_idx] += size
-
-            sub_last = last_applied[active_idx] if last_applied is not None else None
-            indices, selected_fitness, optima = self._select(
-                fitnesses,
-                current_fitness[active_idx],
-                best_fitness[active_idx],
-                iterations[active_idx],
-                sub_last,
-            )
             if optima.any():
                 stopped = active_idx[optima]
                 reasons[stopped] = "local_optimum"
@@ -302,6 +394,11 @@ class MultiStartRunner:
                 move_idx = indices[~optima]
                 moves = mapping.from_flat_batch(move_idx)
                 current[movers[:, None], moves] ^= 1
+                if resident:
+                    # Delta packet: one (replica, bit) pair per flipped bit.
+                    self.evaluator.apply_deltas(
+                        np.repeat(movers, moves.shape[1]), moves.reshape(-1)
+                    )
                 current_fitness[movers] = selected_fitness[~optima]
                 if last_applied is not None:
                     last_applied[movers, move_idx] = iterations[movers]
@@ -316,6 +413,9 @@ class MultiStartRunner:
             wall_share[active_idx] += (
                 time.perf_counter() - step_wall
             ) / active_idx.size
+
+        if resident:
+            self.evaluator.end_search()
 
         results = [
             LSResult(

@@ -38,6 +38,7 @@ class TabuSearch(NeighborhoodLocalSearch):
     """
 
     name = "tabu-search"
+    reduction = "argmin"
 
     def __init__(
         self,
@@ -49,6 +50,7 @@ class TabuSearch(NeighborhoodLocalSearch):
         max_iterations: int | None = None,
         target_fitness: float = 0.0,
         track_history: bool = False,
+        transfer_mode: str = "full",
     ) -> None:
         super().__init__(
             evaluator,
@@ -56,6 +58,7 @@ class TabuSearch(NeighborhoodLocalSearch):
             max_iterations=max_iterations,
             target_fitness=target_fitness,
             track_history=track_history,
+            transfer_mode=transfer_mode,
         )
         if tenure is None:
             tenure = max(1, self.neighborhood.size // 6)
@@ -98,3 +101,33 @@ class TabuSearch(NeighborhoodLocalSearch):
 
     def on_move_applied(self, selected: SelectedMove, iteration: int) -> None:
         self._last_applied[selected.index] = iteration
+
+    # ------------------------------------------------------------------
+    # Reduced transfer path: the admissibility mask goes up with the delta
+    # packet, the fused argmin applies the aspiration criterion on-device
+    # and only the winning (index, fitness) pair comes back.
+    # ------------------------------------------------------------------
+    def reduction_inputs(
+        self, current_fitness: float, best_fitness: float, iteration: int
+    ) -> dict:
+        inputs = {"admissible": ~self.tabu_mask(iteration)[None, :]}
+        if self.aspiration:
+            inputs["aspiration_fitness"] = np.array([best_fitness], dtype=np.float64)
+        return inputs
+
+    def select_from_reduced(
+        self,
+        index: int,
+        fitness: float,
+        current_fitness: float,
+        best_fitness: float,
+        iteration: int,
+    ) -> SelectedMove | None:
+        if index < 0:
+            # Every move tabu, none aspirated: robust-tabu escape to the
+            # oldest move.  Its fitness is fetched individually (8 bytes)
+            # since the full array never crossed PCIe.
+            oldest = int(np.argmin(self._last_applied))
+            fitness = float(self.evaluator.fetch_fitnesses([0], [oldest])[0])
+            return SelectedMove(index=oldest, fitness=fitness)
+        return SelectedMove(index=index, fitness=fitness)

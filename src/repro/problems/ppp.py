@@ -21,8 +21,6 @@ with the {0,1} encoding mapped to the {-1,+1} epsilon encoding by
 
 from __future__ import annotations
 
-from typing import Sequence
-
 import numpy as np
 
 from .base import BinaryProblem, as_solution

@@ -24,7 +24,7 @@ from repro.neighborhoods import (
     ThreeHammingNeighborhood,
     TwoHammingNeighborhood,
 )
-from repro.problems import OneMax, PermutedPerceptronProblem, UBQP
+from repro.problems import PermutedPerceptronProblem, UBQP
 from repro.problems.base import flip_bits
 
 

@@ -1,6 +1,5 @@
 """Tests for the kernel-launch profiler."""
 
-import numpy as np
 import pytest
 
 from repro.core import GPUEvaluator

@@ -1,6 +1,5 @@
 """Additional properties of the device specs, occupancy calculator and timing model."""
 
-import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st

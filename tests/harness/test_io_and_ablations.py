@@ -1,6 +1,5 @@
 """Tests for result serialization and the ablation sweeps."""
 
-import numpy as np
 import pytest
 
 from repro.harness import (

@@ -1,7 +1,6 @@
 """Behavioural tests of the LS loop: stopping integration, history, evaluations accounting."""
 
 import numpy as np
-import pytest
 
 from repro.core import CPUEvaluator
 from repro.localsearch import (
