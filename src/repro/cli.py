@@ -58,10 +58,11 @@ def build_parser() -> argparse.ArgumentParser:
                        choices=("cpu", "sequential", "gpu", "multi-gpu"),
                        help="named evaluator spec used to run the trials")
     p_exp.add_argument("--transfer-mode", default="full",
-                       choices=("full", "delta", "reduced"),
+                       choices=("full", "delta", "reduced", "persistent"),
                        help="host<->device transfer strategy: re-upload everything, "
-                            "device-resident with flipped-bit deltas, or deltas plus the "
-                            "fused on-device reduction (GPU evaluators only)")
+                            "device-resident with flipped-bit deltas, deltas plus the "
+                            "fused on-device reduction, or one persistent launch per "
+                            "run with the whole loop on-device (GPU evaluators only)")
     p_exp.add_argument("--jobs", type=int, default=1,
                        help="worker processes for --trial-mode parallel")
 
@@ -81,8 +82,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_solve.add_argument("--texture", action="store_true",
                          help="bind the instance matrix to texture memory (GPU platforms)")
     p_solve.add_argument("--transfer-mode", default="full",
-                         choices=("full", "delta", "reduced"),
-                         help="host<->device transfer strategy (GPU platforms)")
+                         choices=("full", "delta", "reduced", "persistent"),
+                         help="host<->device transfer strategy (GPU platforms); "
+                              "\"persistent\" runs the whole search in one launch")
 
     sub.add_parser("devices", help="list the simulated GPU device presets")
 
@@ -145,8 +147,8 @@ def _cmd_experiment(args) -> int:
     print(f"wall time (sum over trials): {format_time(total_wall)}")
     if row.h2d_bytes or row.d2h_bytes:
         print(f"PCIe traffic: {format_bytes(row.h2d_bytes)} up, "
-              f"{format_bytes(row.d2h_bytes)} down; simulated device elapsed "
-              f"{format_time(row.sim_elapsed_s)} "
+              f"{format_bytes(row.d2h_bytes)} down; {row.kernel_launches} kernel "
+              f"launches; simulated device elapsed {format_time(row.sim_elapsed_s)} "
               f"(overlap saved {format_time(row.overlap_saved_s)})")
     return 0
 

@@ -48,12 +48,16 @@ from ..gpu.dtypes import (
     FITNESS_BYTES,
     FITNESS_DTYPE,
     REDUCED_PAIR_DTYPE,
+    REDUCED_RESULT_BYTES,
     SOLUTION_DTYPE,
+    STOP_FLAG_BYTES,
+    TABU_NEVER,
+    TABU_STAMP_DTYPE,
 )
 from ..gpu.hierarchy import DEFAULT_BLOCK_SIZE
-from ..gpu.kernel import ExecutionMode, Kernel
+from ..gpu.kernel import ExecutionMode, Kernel, PersistentKernel
 from ..gpu.multi_device import MultiGPU, partition_range
-from ..gpu.runtime import GPUContext
+from ..gpu.runtime import DeviceLoop, GPUContext, PersistentLaunchRecord
 from ..gpu.streams import COPY_STREAM, DOWNLOAD_STREAM
 from ..gpu.timing import HostTimingModel
 from ..neighborhoods import Neighborhood
@@ -355,6 +359,16 @@ class GPUEvaluator(NeighborhoodEvaluator):
         #: (still live in device memory — `fetch_fitnesses` reads from it).
         self._last_fitnesses: np.ndarray | None = None
         self._last_rows: np.ndarray | None = None
+        #: Persistent launch of the current session (``transfer_mode=
+        #: "persistent"``): the whole iteration loop runs inside one launch.
+        self._loop: DeviceLoop | None = None
+        #: Summary of the last completed persistent launch (for profiling
+        #: and the invariant tests).
+        self.last_persistent_record: PersistentLaunchRecord | None = None
+        #: Device-resident tabu memory of the current session: the ``(R, M)``
+        #: "iteration last applied" stamps, living in device global memory.
+        self._tabu_last_applied: np.ndarray | None = None
+        self._tabu_tenure: int = 0
         #: Set by close(); a closed evaluator's device buffers are gone, so
         #: further evaluations would escape the device-memory model.
         self._closed = False
@@ -493,12 +507,19 @@ class GPUEvaluator(NeighborhoodEvaluator):
     def _session_buffer(self, kind: str) -> str:
         return f"{kind}:{id(self)}"
 
-    def begin_search(self, solutions: np.ndarray) -> None:
+    def begin_search(self, solutions: np.ndarray, *, persistent: bool = False) -> None:
         """Upload the ``(R, n)`` solution block once; it stays device-resident.
 
         Subsequent iterations mutate the resident block through
         :meth:`apply_deltas` and evaluate it through
         :meth:`evaluate_resident`; the block never crosses PCIe again.
+
+        With ``persistent=True`` the session additionally opens a
+        :class:`~repro.gpu.runtime.DeviceLoop`: the whole iteration loop runs
+        inside one persistent launch (delta scatter, evaluation, fused
+        reduction and tabu update all on-device), the host only drains the
+        per-iteration result ring and writes early-stop flags, and exactly
+        one kernel launch is charged when the session ends.
         """
         solutions = np.asarray(solutions, dtype=np.int8)
         if solutions.ndim != 2 or solutions.shape[1] != self.problem.n:
@@ -516,6 +537,36 @@ class GPUEvaluator(NeighborhoodEvaluator):
         )
         self._sync_time = self.context.timeline.elapsed
         self.stats.simulated_time += self.context.timeline.elapsed - before
+        if persistent:
+            self.last_persistent_record = None
+            self._loop = self.context.open_device_loop(
+                PersistentKernel(self.batch_kernel), block_size=self.block_size
+            )
+
+    def init_tabu_memory(self, tenure: int) -> None:
+        """Make the tabu memory device-resident for the current session.
+
+        Allocates the ``(R, M)`` "iteration last applied" stamps in device
+        global memory.  The admissibility mask is then computed next to the
+        fused reduction instead of on the host, so the per-iteration tabu
+        packet shrinks from the ``O(S·M/8)`` bit-packed mask to the ``O(S)``
+        per-replica iteration stamps — and the robust-tabu escape (fall back
+        to the oldest move when every move is inadmissible) resolves
+        on-device too, removing its extra host round trip.
+        """
+        if self._resident is None:
+            raise RuntimeError("begin_search must be called before init_tabu_memory")
+        if tenure < 0:
+            raise ValueError(f"tabu tenure must be non-negative, got {tenure}")
+        name = self._session_buffer("tabu")
+        if name in self.context.memory.allocations:
+            self.context.free(name)
+        buf = self.context.alloc(
+            name, (self._resident.shape[0], self.neighborhood.size), TABU_STAMP_DTYPE
+        )
+        buf.data.fill(TABU_NEVER)
+        self._tabu_last_applied = buf.data
+        self._tabu_tenure = int(tenure)
 
     def apply_deltas(self, replicas: np.ndarray, bits: np.ndarray) -> None:
         """Send only the flipped bits: ``(replica, bit)`` int32 pairs.
@@ -538,7 +589,46 @@ class GPUEvaluator(NeighborhoodEvaluator):
         if bits.min() < 0 or bits.max() >= self.problem.n:
             raise IndexError("delta bit index out of range")
         self._resident[replicas, bits] ^= 1
+        if self._loop is not None and not self._loop.closed:
+            # Persistent launch: the winning move was selected by the
+            # resident grid itself, which scatters the flips in-place — no
+            # delta packet ever crosses PCIe.  Only the host mirror is kept
+            # in sync here.
+            return
         self._staged_deltas.append(np.stack([replicas, bits], axis=1).astype(DELTA_DTYPE))
+
+    def _resident_tabu_mask(
+        self, rows: np.ndarray, stamps: np.ndarray, num_indices: int
+    ) -> np.ndarray:
+        """Admissibility of the rows' moves, read from the device tabu memory."""
+        if self._tabu_tenure == 0:
+            return np.ones((rows.size, num_indices), dtype=bool)
+        return (stamps[:, None] - self._tabu_last_applied[rows]) > self._tabu_tenure
+
+    def _resident_tabu_select(
+        self,
+        rows: np.ndarray,
+        stamps: np.ndarray,
+        fitnesses: np.ndarray,
+        indices: np.ndarray,
+        best: np.ndarray,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """On-device epilogue of the tabu reduction: escape + memory update.
+
+        A blocked replica (every move tabu, none aspirated) falls back to its
+        oldest move — the robust-tabu escape, resolved next to the reduction
+        so no extra fitness fetch crosses PCIe — and the winning move's
+        ``last_applied`` stamp is written in place, in device memory.
+        """
+        blocked = indices < 0
+        if blocked.any():
+            oldest = self._tabu_last_applied[rows].argmin(axis=1)
+            indices = np.where(blocked, oldest, indices).astype(np.int64)
+            best = np.where(
+                blocked, fitnesses[np.arange(rows.size), indices], best
+            ).astype(np.float64)
+        self._tabu_last_applied[rows, indices] = stamps
+        return indices, best
 
     def evaluate_resident(
         self,
@@ -548,6 +638,7 @@ class GPUEvaluator(NeighborhoodEvaluator):
         admissible: np.ndarray | None = None,
         aspiration_fitness: np.ndarray | None = None,
         thresholds: np.ndarray | None = None,
+        tabu_iterations: np.ndarray | None = None,
     ):
         """Evaluate the full neighborhood of the resident block's replicas.
 
@@ -563,18 +654,28 @@ class GPUEvaluator(NeighborhoodEvaluator):
             per-replica ``(index, fitness)`` pair — 16 bytes per replica.
         admissible:
             Optional ``(S, M)`` admissibility mask for ``"argmin"`` (the
-            tabu rule).  It is bit-packed and uploaded on the copy stream,
-            overlapping the evaluation kernel, because only the reduction
-            epilogue consumes it.
+            host-side tabu rule).  It is bit-packed and uploaded on the copy
+            stream, overlapping the evaluation kernel, because only the
+            reduction epilogue consumes it.
         aspiration_fitness:
             Per-replica aspiration thresholds: an inadmissible move becomes
             admissible when strictly better (device-side comparison).
         thresholds:
             Per-replica current fitnesses for ``"first-improvement"``.
+        tabu_iterations:
+            Per-replica current iteration numbers for the **device-resident**
+            tabu memory (:meth:`init_tabu_memory`).  The admissibility mask
+            is then derived on-device from the resident ``last_applied``
+            stamps — only these ``O(S)`` stamps cross PCIe instead of the
+            ``O(S·M/8)`` packed mask — the robust-tabu escape resolves
+            on-device, and the winning move's stamp is updated in place.
+            Mutually exclusive with ``admissible``.
 
         Returns the fitness matrix (``reduce=None``) or an
         ``(indices, fitnesses)`` pair of per-replica arrays where a blocked
-        replica (no admissible / no improving move) gets ``(-1, inf)``.
+        replica (no admissible / no improving move) gets ``(-1, inf)`` —
+        except under ``tabu_iterations``, where blocked replicas already
+        carry their escape move.
         """
         if self._resident is None:
             raise RuntimeError("begin_search must be called before evaluate_resident")
@@ -592,6 +693,72 @@ class GPUEvaluator(NeighborhoodEvaluator):
         num_solutions, num_indices = rows.size, self.neighborhood.size
         if num_solutions == 0:
             raise ValueError("need at least one active replica")
+        if reduce is not None and reduce not in REDUCE_OPS:
+            raise ValueError(f"unknown reduce op {reduce!r}; expected one of {REDUCE_OPS}")
+        stamps = None
+        if tabu_iterations is not None:
+            if self._tabu_last_applied is None:
+                raise RuntimeError(
+                    "tabu_iterations needs a device-resident tabu memory; "
+                    "call init_tabu_memory after begin_search"
+                )
+            if admissible is not None:
+                raise ValueError("pass either admissible or tabu_iterations, not both")
+            if reduce != "argmin":
+                raise ValueError("tabu_iterations requires reduce=\"argmin\"")
+            stamps = np.asarray(tabu_iterations, dtype=TABU_STAMP_DTYPE).ravel()
+            if stamps.shape != (num_solutions,):
+                raise ValueError(
+                    f"tabu_iterations must have one stamp per replica "
+                    f"({num_solutions}), got {stamps.shape}"
+                )
+        if admissible is not None:
+            admissible = np.asarray(admissible, dtype=bool)
+            if admissible.shape != (num_solutions, num_indices):
+                raise ValueError(
+                    f"admissible mask must be ({num_solutions}, {num_indices}), "
+                    f"got {admissible.shape}"
+                )
+        flat_name = self._session_buffer("resident_fitnesses")
+        flat_size = num_solutions * num_indices
+        if self._resident_fitness_size not in (None, flat_size):
+            context.free(flat_name)
+        if self._resident_fitness_size != flat_size:
+            context.alloc(flat_name, (flat_size,), FITNESS_DTYPE)
+            self._resident_fitness_size = flat_size
+        flat = context.memory.get(flat_name).data
+
+        if self._loop is not None and not self._loop.closed:
+            result = self._evaluate_persistent(
+                rows, block, flat, reduce,
+                admissible, aspiration_fitness, thresholds, stamps,
+            )
+        else:
+            result = self._evaluate_resident_async(
+                rows, block, flat, flat_name, reduce,
+                admissible, aspiration_fitness, thresholds, stamps,
+            )
+            self.stats.simulated_time += timeline.elapsed - before_elapsed
+        self.stats.calls += 1
+        self.stats.evaluations += flat_size
+        return result
+
+    def _evaluate_resident_async(
+        self,
+        rows: np.ndarray,
+        block: np.ndarray,
+        flat: np.ndarray,
+        flat_name: str,
+        reduce: str | None,
+        admissible: np.ndarray | None,
+        aspiration_fitness: np.ndarray | None,
+        thresholds: np.ndarray | None,
+        stamps: np.ndarray | None,
+    ):
+        """One stream-ordered resident iteration (the delta/reduced modes)."""
+        context = self.context
+        num_solutions, num_indices = rows.size, self.neighborhood.size
+        flat_size = num_solutions * num_indices
         # The pre-kernel delta packet: staged (replica, bit) flips plus —
         # when a strict subset of replicas is active — the id list.  One
         # staging buffer, one PCIe transaction, one latency.
@@ -611,14 +778,6 @@ class GPUEvaluator(NeighborhoodEvaluator):
                     not_before=self._sync_time,
                 )
             )
-        flat_name = self._session_buffer("resident_fitnesses")
-        flat_size = num_solutions * num_indices
-        if self._resident_fitness_size not in (None, flat_size):
-            context.free(flat_name)
-        if self._resident_fitness_size != flat_size:
-            context.alloc(flat_name, (flat_size,), FITNESS_DTYPE)
-            self._resident_fitness_size = flat_size
-        flat = context.memory.get(flat_name).data
         _, kernel_event = context.launch_async(
             self.batch_kernel,
             (num_solutions, num_indices),
@@ -633,69 +792,131 @@ class GPUEvaluator(NeighborhoodEvaluator):
         if reduce is None:
             data, down_event = context.download_async(flat_name, wait_for=kernel_event)
             self._sync_time = down_event.time
-            result = data.reshape(num_solutions, num_indices)
-        else:
-            if reduce not in REDUCE_OPS:
-                raise ValueError(f"unknown reduce op {reduce!r}; expected one of {REDUCE_OPS}")
-            reduce_deps = [kernel_event]
-            # The reduction packet (bit-packed admissibility mask, per-replica
-            # aspiration / improvement thresholds) is consumed only by the
-            # reduction epilogue, so its upload is issued on the copy stream
-            # concurrently with the evaluation kernel — the transfer hides
-            # under the kernel's execution time.
-            reduction_parts = []
-            if admissible is not None:
-                admissible = np.asarray(admissible, dtype=bool)
-                if admissible.shape != (num_solutions, num_indices):
-                    raise ValueError(
-                        f"admissible mask must be ({num_solutions}, {num_indices}), "
-                        f"got {admissible.shape}"
-                    )
-                reduction_parts.append(np.packbits(admissible, axis=1).reshape(-1))
-            if aspiration_fitness is not None:
-                reduction_parts.append(
-                    np.asarray(aspiration_fitness, dtype=np.float64).view(np.uint8)
-                )
-            if thresholds is not None:
-                reduction_parts.append(
-                    np.asarray(thresholds, dtype=np.float64).view(np.uint8)
-                )
-            if reduction_parts:
-                reduce_deps.append(
-                    context.copy_async(
-                        self._session_buffer("reduction_packet"),
-                        np.concatenate(reduction_parts),
-                        stream=COPY_STREAM,
-                        not_before=self._sync_time,
-                    )
-                )
-            indices, best = _fused_reduce(
-                fitnesses, reduce, admissible, aspiration_fitness, thresholds
+            return data.reshape(num_solutions, num_indices)
+        reduce_deps = [kernel_event]
+        # The reduction packet (bit-packed admissibility mask or — with the
+        # device-resident tabu memory — just the O(S) per-replica iteration
+        # stamps, plus per-replica aspiration / improvement thresholds) is
+        # consumed only by the reduction epilogue, so its upload is issued on
+        # the copy stream concurrently with the evaluation kernel — the
+        # transfer hides under the kernel's execution time.
+        reduction_parts = []
+        if admissible is not None:
+            reduction_parts.append(np.packbits(admissible, axis=1).reshape(-1))
+        if stamps is not None:
+            reduction_parts.append(stamps.view(np.uint8))
+        if aspiration_fitness is not None:
+            reduction_parts.append(
+                np.asarray(aspiration_fitness, dtype=np.float64).view(np.uint8)
             )
-            reduced_name = self._session_buffer("reduced")
-            if self._reduced_size not in (None, num_solutions):
-                context.free(reduced_name)
-            if self._reduced_size != num_solutions:
-                context.alloc(reduced_name, (num_solutions,), REDUCED_PAIR_DTYPE)
-                self._reduced_size = num_solutions
-            reduced_buf = context.memory.get(reduced_name).data
-            reduced_buf["index"] = indices
-            reduced_buf["fitness"] = best
-            reduce_event = context.reduce_async(
-                f"FusedReduce<{reduce}>[{self.batch_kernel.name}]",
-                flat_size,
-                wait_for=reduce_deps,
+        if thresholds is not None:
+            reduction_parts.append(
+                np.asarray(thresholds, dtype=np.float64).view(np.uint8)
             )
-            data, down_event = context.download_async(reduced_name, wait_for=reduce_event)
-            self._sync_time = down_event.time
-            result = (
-                data["index"].astype(np.int64),
-                data["fitness"].astype(np.float64),
+        if reduction_parts:
+            reduce_deps.append(
+                context.copy_async(
+                    self._session_buffer("reduction_packet"),
+                    np.concatenate(reduction_parts),
+                    stream=COPY_STREAM,
+                    not_before=self._sync_time,
+                )
             )
-        self.stats.calls += 1
-        self.stats.evaluations += flat_size
-        self.stats.simulated_time += timeline.elapsed - before_elapsed
-        return result
+        if stamps is not None:
+            admissible = self._resident_tabu_mask(rows, stamps, num_indices)
+        indices, best = _fused_reduce(
+            fitnesses, reduce, admissible, aspiration_fitness, thresholds
+        )
+        if stamps is not None:
+            indices, best = self._resident_tabu_select(
+                rows, stamps, fitnesses, indices, best
+            )
+        reduced_name = self._session_buffer("reduced")
+        if self._reduced_size not in (None, num_solutions):
+            context.free(reduced_name)
+        if self._reduced_size != num_solutions:
+            context.alloc(reduced_name, (num_solutions,), REDUCED_PAIR_DTYPE)
+            self._reduced_size = num_solutions
+        reduced_buf = context.memory.get(reduced_name).data
+        reduced_buf["index"] = indices
+        reduced_buf["fitness"] = best
+        reduce_event = context.reduce_async(
+            f"FusedReduce<{reduce}>[{self.batch_kernel.name}]",
+            flat_size,
+            wait_for=reduce_deps,
+        )
+        data, down_event = context.download_async(reduced_name, wait_for=reduce_event)
+        self._sync_time = down_event.time
+        return (
+            data["index"].astype(np.int64),
+            data["fitness"].astype(np.float64),
+        )
+
+    def _evaluate_persistent(
+        self,
+        rows: np.ndarray,
+        block: np.ndarray,
+        flat: np.ndarray,
+        reduce: str | None,
+        admissible: np.ndarray | None,
+        aspiration_fitness: np.ndarray | None,
+        thresholds: np.ndarray | None,
+        stamps: np.ndarray | None,
+    ):
+        """One on-device iteration of the persistent launch.
+
+        No kernel is launched and no delta/id packet is uploaded: the
+        resident grid scatters the flips it selected itself, evaluates, and
+        reduces, all inside the one open launch.  The host's only traffic is
+        the ``O(S)`` early-stop flag write and the 16 B/replica result-ring
+        drain, both concurrent with the loop; the per-replica bookkeeping
+        the reduction needs (iteration counters, best-so-far aspiration
+        fitness) already lives on the device.
+        """
+        if reduce is None:
+            raise ValueError(
+                "the persistent loop folds selection on-device; downloading the "
+                "full fitness matrix would defeat it — use reduce=\"argmin\" or "
+                "\"first-improvement\", or transfer_mode=\"delta\""
+            )
+        loop = self._loop
+        num_solutions, num_indices = rows.size, self.neighborhood.size
+        flat_size = num_solutions * num_indices
+        # Flips were applied on-device by the previous iteration's epilogue.
+        self._staged_deltas = []
+        loop.write_control(self._resident.shape[0] * STOP_FLAG_BYTES)
+        added = loop.iterate(
+            (num_solutions, num_indices), (block, flat), cost=self.batch_kernel.cost
+        )
+        fitnesses = flat.reshape(num_solutions, num_indices)
+        self._last_fitnesses = fitnesses
+        self._last_rows = rows
+        if stamps is not None:
+            admissible = self._resident_tabu_mask(rows, stamps, num_indices)
+        indices, best = _fused_reduce(
+            fitnesses, reduce, admissible, aspiration_fitness, thresholds
+        )
+        if stamps is not None:
+            indices, best = self._resident_tabu_select(
+                rows, stamps, fitnesses, indices, best
+            )
+        added += loop.reduce(flat_size)
+        # The per-iteration result ring entry: 16 bytes per active replica,
+        # drained by the host while the grid keeps looping.
+        reduced_name = self._session_buffer("reduced")
+        if self._reduced_size not in (None, num_solutions):
+            self.context.free(reduced_name)
+        if self._reduced_size != num_solutions:
+            self.context.alloc(reduced_name, (num_solutions,), REDUCED_PAIR_DTYPE)
+            self._reduced_size = num_solutions
+        reduced_buf = self.context.memory.get(reduced_name).data
+        reduced_buf["index"] = indices
+        reduced_buf["fitness"] = best
+        loop.drain_ring(num_solutions * REDUCED_RESULT_BYTES)
+        # The ring drain and flag write hide under the resident loop; only
+        # the on-device work advances the evaluator's clock.
+        self.stats.simulated_time += added
+        return indices.copy(), best.copy()
 
     def fetch_fitnesses(self, replicas: np.ndarray, move_indices: np.ndarray) -> np.ndarray:
         """Read single entries of the last evaluated fitness block.
@@ -737,13 +958,26 @@ class GPUEvaluator(NeighborhoodEvaluator):
         return values
 
     def end_search(self) -> None:
-        """Drop the resident session's device buffers and host mirrors."""
+        """Drop the resident session's device buffers and host mirrors.
+
+        A persistent session's :class:`~repro.gpu.runtime.DeviceLoop` is
+        closed first: that is the moment the single launch (and its one
+        amortized overhead) is charged and the per-stream loop intervals
+        land on the timeline.
+        """
+        if self._loop is not None:
+            if not self._loop.closed:
+                record = self._loop.finish()
+                self.stats.simulated_time += record.launch_overhead
+                self.last_persistent_record = record
+            self._loop = None
         for kind in (
             "resident",
             "deltas",
             "reduction_packet",
             "resident_fitnesses",
             "reduced",
+            "tabu",
         ):
             name = self._session_buffer(kind)
             if name in self.context.memory.allocations:
@@ -754,6 +988,8 @@ class GPUEvaluator(NeighborhoodEvaluator):
         self._staged_deltas = []
         self._last_fitnesses = None
         self._last_rows = None
+        self._tabu_last_applied = None
+        self._tabu_tenure = 0
 
     def close(self) -> None:
         """Free every persistent device buffer owned by this evaluator.
@@ -895,8 +1131,13 @@ class MultiGPUEvaluator(NeighborhoodEvaluator):
             if hi > lo:
                 yield evaluator, lo, hi
 
-    def begin_search(self, solutions: np.ndarray) -> None:
-        """Split the ``(R, n)`` block into contiguous replica ranges, one per device."""
+    def begin_search(self, solutions: np.ndarray, *, persistent: bool = False) -> None:
+        """Split the ``(R, n)`` block into contiguous replica ranges, one per device.
+
+        With ``persistent=True`` every owning device opens its own
+        persistent launch over its replica slice (one launch per device per
+        run — the multi-GPU analogue of the single-launch invariant).
+        """
         solutions = np.asarray(solutions, dtype=np.int8)
         if solutions.ndim != 2 or solutions.shape[1] != self.problem.n:
             raise ValueError(
@@ -910,10 +1151,15 @@ class MultiGPUEvaluator(NeighborhoodEvaluator):
         per_device_times = []
         for evaluator, lo, hi in self._resident_parts():
             before = evaluator.context.timeline.elapsed
-            evaluator.begin_search(solutions[lo:hi])
+            evaluator.begin_search(solutions[lo:hi], persistent=persistent)
             per_device_times.append(evaluator.context.timeline.elapsed - before)
         # Devices upload their slices concurrently.
         self.stats.simulated_time += max(per_device_times) if per_device_times else 0.0
+
+    def init_tabu_memory(self, tenure: int) -> None:
+        """Allocate each device's slice of the resident tabu memory."""
+        for evaluator, _lo, _hi in self._resident_parts():
+            evaluator.init_tabu_memory(tenure)
 
     def apply_deltas(self, replicas: np.ndarray, bits: np.ndarray) -> None:
         """Route each ``(replica, bit)`` pair to the device owning the replica."""
@@ -937,8 +1183,15 @@ class MultiGPUEvaluator(NeighborhoodEvaluator):
         admissible: np.ndarray | None = None,
         aspiration_fitness: np.ndarray | None = None,
         thresholds: np.ndarray | None = None,
+        tabu_iterations: np.ndarray | None = None,
     ):
-        """Per-device resident evaluation; elapsed time is the slowest device's."""
+        """Per-device resident evaluation; elapsed time is the slowest device's.
+
+        During a persistent session the sub-evaluators route the iteration
+        through their open device loops, so the per-device stream clocks do
+        not advance until the session ends; the elapsed contribution is then
+        the slowest device's accumulated on-device time instead.
+        """
         if self._replica_ranges is None:
             raise RuntimeError("begin_search must be called before evaluate_resident")
         total = self._replica_ranges[-1][1]
@@ -962,7 +1215,7 @@ class MultiGPUEvaluator(NeighborhoodEvaluator):
             if not mask.any():
                 continue
             local_ids = rows[mask] - lo
-            before = evaluator.context.timeline.elapsed
+            before = evaluator.stats.simulated_time
             sub = evaluator.evaluate_resident(
                 local_ids,
                 reduce=reduce,
@@ -971,8 +1224,11 @@ class MultiGPUEvaluator(NeighborhoodEvaluator):
                     aspiration_fitness[mask] if aspiration_fitness is not None else None
                 ),
                 thresholds=thresholds[mask] if thresholds is not None else None,
+                tabu_iterations=(
+                    tabu_iterations[mask] if tabu_iterations is not None else None
+                ),
             )
-            per_device_times.append(evaluator.context.timeline.elapsed - before)
+            per_device_times.append(evaluator.stats.simulated_time - before)
             if reduce is None:
                 out_fitnesses[mask] = sub
             else:

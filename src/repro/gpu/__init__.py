@@ -26,14 +26,25 @@ from .dtypes import (
     REDUCED_RESULT_BYTES,
     SOLUTION_DTYPE,
     SOLUTION_ENTRY_BYTES,
+    STOP_FLAG_BYTES,
+    TABU_NEVER,
+    TABU_STAMP_BYTES,
+    TABU_STAMP_DTYPE,
 )
 from .hierarchy import DEFAULT_BLOCK_SIZE, Dim3, LaunchConfig, ThreadIndex, grid_for
-from .kernel import ExecutionMode, Kernel, KernelLaunch, ThreadContext, normalize_work
+from .kernel import (
+    ExecutionMode,
+    Kernel,
+    KernelLaunch,
+    PersistentKernel,
+    ThreadContext,
+    normalize_work,
+)
 from .memory import DeviceBuffer, MemoryManager, MemorySpace, OutOfDeviceMemory, TransferRecord
 from .multi_device import MultiGPU, Partition, partition_range
 from .occupancy import OccupancyResult, occupancy
 from .profiler import KernelProfile, ProfileReport, format_profile, profile, timeline_report
-from .runtime import DeviceStats, GPUContext
+from .runtime import DeviceLoop, DeviceStats, GPUContext, PersistentLaunchRecord
 from .streams import (
     COMPUTE_STREAM,
     COPY_STREAM,
@@ -64,6 +75,7 @@ __all__ = [
     "ExecutionMode",
     "Kernel",
     "KernelLaunch",
+    "PersistentKernel",
     "ThreadContext",
     "normalize_work",
     "MemorySpace",
@@ -95,12 +107,18 @@ __all__ = [
     "SOLUTION_ENTRY_BYTES",
     "DELTA_PAIR_BYTES",
     "REDUCED_RESULT_BYTES",
+    "TABU_STAMP_DTYPE",
+    "TABU_STAMP_BYTES",
+    "STOP_FLAG_BYTES",
+    "TABU_NEVER",
     "GPUTimingModel",
     "HostTimingModel",
     "KernelCostProfile",
     "KernelTimeBreakdown",
     "GPUContext",
     "DeviceStats",
+    "DeviceLoop",
+    "PersistentLaunchRecord",
     "MultiGPU",
     "Partition",
     "partition_range",

@@ -17,10 +17,14 @@ __all__ = [
     "DELTA_DTYPE",
     "REDUCED_INDEX_DTYPE",
     "REDUCED_PAIR_DTYPE",
+    "TABU_STAMP_DTYPE",
     "FITNESS_BYTES",
     "SOLUTION_ENTRY_BYTES",
     "DELTA_PAIR_BYTES",
     "REDUCED_RESULT_BYTES",
+    "TABU_STAMP_BYTES",
+    "STOP_FLAG_BYTES",
+    "TABU_NEVER",
 ]
 
 #: Fitness values as written by the evaluation kernels and copied back to the
@@ -57,3 +61,21 @@ DELTA_PAIR_BYTES = 2 * DELTA_DTYPE.itemsize
 #: int64 best-move index plus one float64 best fitness — 16 bytes instead of
 #: the ``FITNESS_BYTES * M`` of a full fitness download.
 REDUCED_RESULT_BYTES = REDUCED_PAIR_DTYPE.itemsize
+
+#: Per-move "iteration last applied" stamps of the device-resident tabu
+#: memory (int64, matching the host-side tabu bookkeeping).
+TABU_STAMP_DTYPE = np.dtype(np.int64)
+
+#: Bytes per replica of the per-iteration tabu stamp upload (the replica's
+#: current iteration number) when the tabu memory is device-resident — the
+#: ``O(S)`` packet that replaces the ``O(S·M/8)`` bit-packed admissibility
+#: mask of the host-side tabu path.
+TABU_STAMP_BYTES = TABU_STAMP_DTYPE.itemsize
+
+#: Bytes per replica of the host's early-stop flag write into the persistent
+#: kernel's control block (one byte per replica slot, each iteration).
+STOP_FLAG_BYTES = 1
+
+#: Sentinel stamp for "move never applied" in the tabu memory (shared by the
+#: host-side and device-resident encodings so trajectories stay identical).
+TABU_NEVER = -(2**62)

@@ -26,7 +26,14 @@ import numpy as np
 from .hierarchy import DEFAULT_BLOCK_SIZE, LaunchConfig, ThreadIndex, grid_for
 from .timing import KernelCostProfile, KernelTimeBreakdown
 
-__all__ = ["ExecutionMode", "Kernel", "KernelLaunch", "ThreadContext", "normalize_work"]
+__all__ = [
+    "ExecutionMode",
+    "Kernel",
+    "KernelLaunch",
+    "PersistentKernel",
+    "ThreadContext",
+    "normalize_work",
+]
 
 
 def normalize_work(work: int | tuple[int, ...]) -> tuple[int, tuple[int, ...]]:
@@ -168,3 +175,46 @@ class Kernel:
                 ctx = ThreadContext(index=thread_index)
                 self.thread_fn(ctx, *args)
         return active
+
+
+class PersistentKernel:
+    """A kernel whose grid is launched once and then loops on-device.
+
+    Persistent-threads designs keep the launched grid alive for the whole
+    search: every iteration the resident threads scatter the pending deltas,
+    evaluate the neighborhood, run the fused reduction and update the tabu
+    memory, then spin on the host's early-stop flag instead of exiting.  The
+    wrapper delegates the *functional* body to the per-iteration
+    :class:`Kernel`; the timing consequence — the fixed launch overhead is
+    paid once per run instead of once per iteration — is modeled by
+    :class:`~repro.gpu.runtime.DeviceLoop`, which executes the body through
+    this wrapper and emits a single launch record when the loop closes.
+    """
+
+    def __init__(self, body: Kernel, *, name: str | None = None) -> None:
+        self.body = body
+        self.name = name if name is not None else f"persistent[{body.name}]"
+
+    @property
+    def cost(self) -> KernelCostProfile:
+        """Per-thread cost of one loop iteration (the wrapped body's cost)."""
+        return self.body.cost
+
+    def launch_config(
+        self, active_threads: int | tuple[int, ...], block_size: int = DEFAULT_BLOCK_SIZE
+    ) -> LaunchConfig:
+        return self.body.launch_config(active_threads, block_size)
+
+    def execute(
+        self,
+        config: LaunchConfig,
+        args: Sequence,
+        *,
+        active_threads: int | None = None,
+        mode: ExecutionMode = ExecutionMode.VECTORIZED,
+    ) -> int:
+        """Run one on-device iteration of the resident loop body."""
+        return self.body.execute(config, args, active_threads=active_threads, mode=mode)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"PersistentKernel({self.body.name!r})"

@@ -30,7 +30,7 @@ import numpy as np
 
 from .device import DeviceSpec, GTX_280
 from .hierarchy import DEFAULT_BLOCK_SIZE, LaunchConfig
-from .kernel import ExecutionMode, Kernel, KernelLaunch, normalize_work
+from .kernel import ExecutionMode, Kernel, KernelLaunch, PersistentKernel, normalize_work
 from .memory import MemoryManager, MemorySpace
 from .streams import (
     COMPUTE_STREAM,
@@ -41,7 +41,7 @@ from .streams import (
 )
 from .timing import GPUTimingModel, KernelCostProfile
 
-__all__ = ["DeviceStats", "GPUContext"]
+__all__ = ["DeviceLoop", "DeviceStats", "GPUContext", "PersistentLaunchRecord"]
 
 
 @dataclass
@@ -77,6 +77,191 @@ class DeviceStats:
         self.reductions = 0
         self.reduction_time = 0.0
         self.launch_records.clear()
+
+
+@dataclass(frozen=True)
+class PersistentLaunchRecord:
+    """Summary of one completed persistent launch (one per *run*, not per iteration)."""
+
+    kernel_name: str
+    #: On-device loop iterations executed inside the single launch.
+    iterations: int
+    #: Accumulated on-device execution time (evaluation bodies + fused
+    #: reductions), excluding the launch overhead.
+    body_time: float
+    #: The one fixed launch overhead the whole run pays.
+    launch_overhead: float
+    #: Result-ring traffic drained by the host while the kernel ran.
+    ring_bytes: int
+    #: Early-stop/control flag traffic written by the host while the kernel ran.
+    control_bytes: int
+
+    @property
+    def total_time(self) -> float:
+        return self.body_time + self.launch_overhead
+
+    @property
+    def amortized_overhead(self) -> float:
+        """Launch overhead per iteration — the quantity the loop drives to zero."""
+        return self.launch_overhead / self.iterations if self.iterations else self.launch_overhead
+
+
+class DeviceLoop:
+    """The host-side handle of one persistent launch.
+
+    A real persistent kernel is launched once; its resident grid then
+    iterates on-device (delta scatter → neighborhood evaluation → fused
+    reduction/selection → tabu update) while the host merely drains a small
+    per-iteration result ring and writes an early-stop flag.  The simulator
+    models that with this loop object: while it is open,
+
+    * :meth:`iterate` executes one loop body functionally and accumulates
+      its execution time *without* any per-iteration launch overhead;
+    * :meth:`reduce` accumulates a fused reduction as a pure bandwidth pass
+      (the per-reduction launch overhead also disappears inside the loop);
+    * :meth:`drain_ring` / :meth:`write_control` account the host's
+      concurrent PCIe traffic (``O(S)`` bytes per iteration, both ways).
+
+    :meth:`finish` then charges exactly **one** kernel launch and one launch
+    overhead, and records one long interval per stream on the timeline: the
+    compute stream holds the whole resident loop, while the ring drain and
+    the control writes sit on the download/copy streams, concurrent with it.
+    """
+
+    def __init__(
+        self,
+        context: "GPUContext",
+        kernel: PersistentKernel,
+        *,
+        block_size: int = DEFAULT_BLOCK_SIZE,
+    ) -> None:
+        if not isinstance(kernel, PersistentKernel):
+            kernel = PersistentKernel(kernel)
+        self.context = context
+        self.kernel = kernel
+        self.block_size = int(block_size)
+        #: The launch cannot start before outstanding work has drained
+        #: (null-stream semantics for the launch itself).
+        self.start_time = context.timeline.elapsed
+        self.iterations = 0
+        self._body_time = 0.0
+        self._ring_time = 0.0
+        self._ring_bytes = 0
+        self._control_time = 0.0
+        self._control_bytes = 0
+        self._closed = False
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise RuntimeError("persistent loop has already been finished")
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def iterate(
+        self,
+        active_threads: int | tuple[int, ...],
+        args,
+        *,
+        cost: KernelCostProfile | None = None,
+    ) -> float:
+        """Run one on-device iteration of the loop body; returns its duration.
+
+        The body executes functionally exactly like a standalone launch, but
+        only the roofline execution time is charged — the fixed launch
+        overhead is paid once for the whole loop, by :meth:`finish`.
+        """
+        self._check_open()
+        total_active, _ = normalize_work(active_threads)
+        if total_active <= 0:
+            raise ValueError(f"active_threads must be positive, got {active_threads}")
+        cfg = self.kernel.launch_config(total_active, self.block_size)
+        self.kernel.execute(
+            cfg, args, active_threads=total_active, mode=self.context.mode
+        )
+        breakdown = self.context.timing.kernel_time(
+            cfg, cost if cost is not None else self.kernel.cost, active_threads=total_active
+        )
+        duration = breakdown.kernel_time  # overhead-free: the grid is already resident
+        self._body_time += duration
+        self.context.stats.kernel_time += duration
+        self.iterations += 1
+        return duration
+
+    def reduce(self, num_elements: int) -> float:
+        """Account one in-loop fused reduction (bandwidth pass, no launch)."""
+        self._check_open()
+        duration = (
+            self.context.timing.reduction_time(num_elements)
+            - self.context.device.kernel_launch_overhead
+        )
+        self._body_time += duration
+        self.context.stats.reductions += 1
+        self.context.stats.reduction_time += duration
+        return duration
+
+    def drain_ring(self, nbytes: int) -> float:
+        """Account the host draining ``nbytes`` of the per-iteration result ring."""
+        self._check_open()
+        duration = self.context.timing.transfer_time(nbytes)
+        self._ring_time += duration
+        self._ring_bytes += int(nbytes)
+        self.context.stats.transfer_time += duration
+        self.context.stats.d2h_bytes += int(nbytes)
+        return duration
+
+    def write_control(self, nbytes: int) -> float:
+        """Account the host writing ``nbytes`` of early-stop/control flags."""
+        self._check_open()
+        duration = self.context.timing.transfer_time(nbytes)
+        self._control_time += duration
+        self._control_bytes += int(nbytes)
+        self.context.stats.transfer_time += duration
+        self.context.stats.h2d_bytes += int(nbytes)
+        return duration
+
+    def finish(self) -> PersistentLaunchRecord:
+        """Close the loop: one launch, one overhead, one interval per stream."""
+        self._check_open()
+        self._closed = True
+        overhead = self.context.device.kernel_launch_overhead
+        self.context.stats.kernel_launches += 1
+        self.context.stats.kernel_time += overhead
+        timeline = self.context.timeline
+        timeline.schedule(
+            "kernel",
+            self.kernel.name,
+            overhead + self._body_time,
+            stream=COMPUTE_STREAM,
+            not_before=self.start_time,
+        )
+        # The ring drain and the control writes run on the host concurrently
+        # with the resident kernel; they start once the grid is up.
+        if self._ring_time:
+            timeline.schedule(
+                "d2h",
+                f"result_ring[{self.kernel.name}]",
+                self._ring_time,
+                stream=DOWNLOAD_STREAM,
+                not_before=self.start_time + overhead,
+            )
+        if self._control_time:
+            timeline.schedule(
+                "h2d",
+                f"stop_flags[{self.kernel.name}]",
+                self._control_time,
+                stream=COPY_STREAM,
+                not_before=self.start_time + overhead,
+            )
+        return PersistentLaunchRecord(
+            kernel_name=self.kernel.name,
+            iterations=self.iterations,
+            body_time=self._body_time,
+            launch_overhead=overhead,
+            ring_bytes=self._ring_bytes,
+            control_bytes=self._control_bytes,
+        )
 
 
 class GPUContext:
@@ -329,6 +514,21 @@ class GPUContext:
             "reduce", name, duration, stream=stream, wait_for=wait_for, not_before=not_before
         )
         return Event(stream=stream, time=interval.end)
+
+    def open_device_loop(
+        self,
+        kernel: Kernel | PersistentKernel,
+        *,
+        block_size: int = DEFAULT_BLOCK_SIZE,
+    ) -> DeviceLoop:
+        """Start a persistent launch: one :class:`DeviceLoop` per run.
+
+        The returned loop accumulates every on-device iteration; closing it
+        (:meth:`DeviceLoop.finish`) charges a single kernel launch whose
+        overhead is amortized over all iterations and records one long
+        timeline interval per stream.
+        """
+        return DeviceLoop(self, kernel, block_size=block_size)
 
     def synchronize(self) -> float:
         """Host-side sync point: the simulated instant all streams drain."""

@@ -99,6 +99,9 @@ class ExperimentRow:
     transfer_mode: str = "full"
     h2d_bytes: int = 0
     d2h_bytes: int = 0
+    #: Kernel launches issued over the whole run (summed across devices).
+    #: The persistent mode collapses this to one launch per device per run.
+    kernel_launches: int = 0
     #: Overlap-aware elapsed simulated device time (stream-timeline makespan).
     sim_elapsed_s: float = 0.0
     #: Transfer time hidden under concurrent kernel execution.
@@ -160,6 +163,7 @@ class ExperimentRow:
             "transfer_mode": self.transfer_mode,
             "h2d_bytes": self.h2d_bytes,
             "d2h_bytes": self.d2h_bytes,
+            "kernel_launches": self.kernel_launches,
             "sim_elapsed_s": self.sim_elapsed_s,
             "overlap_saved_s": self.overlap_saved_s,
         }
@@ -176,6 +180,7 @@ def _collect_transfer_stats(evaluator, row: ExperimentRow) -> None:
         return
     row.h2d_bytes = sum(ctx.stats.h2d_bytes for ctx in contexts)
     row.d2h_bytes = sum(ctx.stats.d2h_bytes for ctx in contexts)
+    row.kernel_launches = sum(ctx.stats.kernel_launches for ctx in contexts)
     # Concurrent devices: the elapsed makespan is the slowest device's.
     row.sim_elapsed_s = max(ctx.timeline.elapsed for ctx in contexts)
     row.overlap_saved_s = sum(ctx.timeline.overlap_saved for ctx in contexts)
@@ -274,10 +279,12 @@ def run_ppp_experiment(
           solution-parallel execution engine.
     transfer_mode:
         One of :data:`TRANSFER_MODES` (``"full"``, ``"delta"``,
-        ``"reduced"``): how candidate data moves between host and device
-        each iteration.  The non-default modes need a device-backed
-        evaluator (``"gpu"`` / ``"multi-gpu"``); per-trial records are
-        bit-identical across all modes.
+        ``"reduced"``, ``"persistent"``): how candidate data moves between
+        host and device each iteration — ``"persistent"`` runs every search
+        as a single persistent launch whose loop lives on-device.  The
+        non-default modes need a device-backed evaluator (``"gpu"`` /
+        ``"multi-gpu"``); per-trial records are bit-identical across all
+        modes.
     """
     if not isinstance(spec, PPPInstanceSpec):
         spec = PPPInstanceSpec(*spec)

@@ -81,7 +81,7 @@ def format_experiment_table(
     if include_acceleration:
         headers.append("Acceleration")
     if include_transfers:
-        headers.extend(["Mode", "H2D", "D2H", "Overlap saved"])
+        headers.extend(["Mode", "H2D", "D2H", "Launches", "Overlap saved"])
     body = []
     for row in rows:
         cells = [
@@ -99,6 +99,7 @@ def format_experiment_table(
                 row.transfer_mode,
                 format_bytes(row.h2d_bytes),
                 format_bytes(row.d2h_bytes),
+                str(row.kernel_launches),
                 format_time(row.overlap_saved_s),
             ])
         body.append(cells)

@@ -1,6 +1,6 @@
 """Local search algorithms built on the parallel neighborhood evaluators."""
 
-from .base import TRANSFER_MODES, NeighborhoodLocalSearch
+from .base import REDUCED_SELECTION_MODES, TRANSFER_MODES, NeighborhoodLocalSearch
 from .hill_climbing import FirstImprovementHillClimbing, HillClimbing
 from .iterated import IteratedLocalSearch, VariableNeighborhoodSearch
 from .multistart import MultiStartResult, MultiStartRunner
@@ -21,6 +21,7 @@ from .tabu import TabuSearch
 __all__ = [
     "NeighborhoodLocalSearch",
     "TRANSFER_MODES",
+    "REDUCED_SELECTION_MODES",
     "HillClimbing",
     "FirstImprovementHillClimbing",
     "TabuSearch",

@@ -21,7 +21,12 @@ from ..problems.base import flip_bits
 from .result import LSResult
 from .stopping import AnyOf, MaxIterations, SearchState, StoppingCriterion, TargetFitness
 
-__all__ = ["NeighborhoodLocalSearch", "TRANSFER_MODES"]
+__all__ = [
+    "NeighborhoodLocalSearch",
+    "REDUCED_SELECTION_MODES",
+    "TRANSFER_MODES",
+    "check_transfer_mode",
+]
 
 #: How candidate data moves between host and (simulated) device each iteration:
 #:
@@ -31,8 +36,36 @@ __all__ = ["NeighborhoodLocalSearch", "TRANSFER_MODES"]
 #:   flipped-bit ``(replica, bit)`` pairs go up; the fitness matrix still
 #:   comes down for host-side selection;
 #: * ``"reduced"`` — delta uploads plus the fused neighborhood+reduction
-#:   launch: only the per-replica best ``(index, fitness)`` pair comes down.
-TRANSFER_MODES = ("full", "delta", "reduced")
+#:   launch: only the per-replica best ``(index, fitness)`` pair comes down;
+#: * ``"persistent"`` — the whole iteration loop runs inside **one**
+#:   persistent launch per run: delta scatter, evaluation, fused reduction
+#:   and tabu update all happen on-device, the host only drains a
+#:   16 B/replica result ring and writes an ``O(S)`` early-stop flag, and
+#:   the kernel launch overhead is paid once instead of once per iteration.
+TRANSFER_MODES = ("full", "delta", "reduced", "persistent")
+
+#: The modes whose per-iteration selection happens inside the fused
+#: on-device reduction (the host sees only ``(index, fitness)`` pairs).
+REDUCED_SELECTION_MODES = ("reduced", "persistent")
+
+
+def check_transfer_mode(transfer_mode: str, evaluator: NeighborhoodEvaluator) -> str:
+    """Validate ``transfer_mode`` against the evaluator's capabilities.
+
+    Shared by every search driver (the scalar searches, the lockstep
+    multi-start runner and the restart-based ILS/VNS wrappers) so they all
+    reject unknown modes and non-resident backends with the same error.
+    """
+    if transfer_mode not in TRANSFER_MODES:
+        raise ValueError(
+            f"unknown transfer_mode {transfer_mode!r}; expected one of {TRANSFER_MODES}"
+        )
+    if transfer_mode != "full" and not evaluator.supports_device_residency:
+        raise ValueError(
+            f"transfer_mode={transfer_mode!r} needs a device-resident evaluator "
+            f"(got {type(evaluator).__name__}); use the GPU backends or \"full\""
+        )
+    return transfer_mode
 
 
 class NeighborhoodLocalSearch(abc.ABC):
@@ -88,16 +121,8 @@ class NeighborhoodLocalSearch(abc.ABC):
             stopping = AnyOf(TargetFitness(target_fitness), MaxIterations(max_iterations))
         self.stopping = stopping
         self.track_history = bool(track_history)
-        if transfer_mode not in TRANSFER_MODES:
-            raise ValueError(
-                f"unknown transfer_mode {transfer_mode!r}; expected one of {TRANSFER_MODES}"
-            )
-        if transfer_mode != "full" and not evaluator.supports_device_residency:
-            raise ValueError(
-                f"transfer_mode={transfer_mode!r} needs a device-resident evaluator "
-                f"(got {type(evaluator).__name__}); use the GPU backends or \"full\""
-            )
-        if transfer_mode == "reduced" and self.reduction is None:
+        check_transfer_mode(transfer_mode, evaluator)
+        if transfer_mode in REDUCED_SELECTION_MODES and self.reduction is None:
             raise ValueError(
                 f"{type(self).__name__} does not define a fused reduction; "
                 "use transfer_mode=\"full\" or \"delta\""
@@ -123,6 +148,14 @@ class NeighborhoodLocalSearch(abc.ABC):
 
     def on_move_applied(self, selected: SelectedMove, iteration: int) -> None:
         """Per-iteration bookkeeping after a move has been accepted."""
+
+    def prepare_resident_session(self) -> None:
+        """Configure the just-opened device-resident session.
+
+        Called right after :meth:`~repro.core.evaluators.GPUEvaluator.begin_search`
+        in the non-``full`` transfer modes; algorithms override it to move
+        per-run memory device-resident (e.g. the tabu ``last_applied`` stamps).
+        """
 
     # ------------------------------------------------------------------
     # Hooks of the reduced transfer path (algorithms that define
@@ -181,7 +214,12 @@ class NeighborhoodLocalSearch(abc.ABC):
         resident = self.transfer_mode != "full"
         if resident:
             # Device-resident pipeline: the solution crosses PCIe once, here.
-            self.evaluator.begin_search(current[None, :])
+            # The persistent mode additionally opens the run's one device
+            # loop: every following iteration happens inside that launch.
+            self.evaluator.begin_search(
+                current[None, :], persistent=self.transfer_mode == "persistent"
+            )
+            self.prepare_resident_session()
 
         while True:
             state = SearchState(
@@ -196,8 +234,9 @@ class NeighborhoodLocalSearch(abc.ABC):
                 break
 
             # Generate + evaluate the whole neighborhood (the GPU step).
-            if self.transfer_mode == "reduced":
-                # Fused neighborhood+reduction launch: only the best
+            if self.transfer_mode in REDUCED_SELECTION_MODES:
+                # Fused neighborhood+reduction launch (inside the run's one
+                # persistent launch under "persistent"): only the best
                 # (index, fitness) pair comes back.
                 indices, fits = self.evaluator.evaluate_resident(
                     reduce=self.reduction,

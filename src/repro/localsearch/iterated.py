@@ -18,6 +18,7 @@ from ..core.evaluators import CPUEvaluator, NeighborhoodEvaluator
 from ..neighborhoods import KHammingNeighborhood
 from ..problems import BinaryProblem
 from ..problems.base import flip_bits
+from .base import check_transfer_mode
 from .hill_climbing import HillClimbing
 from .result import LSResult
 
@@ -37,6 +38,7 @@ class IteratedLocalSearch:
         perturbation_strength: int = 3,
         descent_max_iterations: int = 1_000,
         target_fitness: float = 0.0,
+        transfer_mode: str = "full",
     ) -> None:
         if restarts <= 0:
             raise ValueError("restarts must be positive")
@@ -48,6 +50,10 @@ class IteratedLocalSearch:
         self.perturbation_strength = int(perturbation_strength)
         self.descent_max_iterations = int(descent_max_iterations)
         self.target_fitness = float(target_fitness)
+        #: Transfer mode of every inner descent: each descent runs
+        #: device-resident (and, with ``"persistent"``, as one persistent
+        #: launch per descent) instead of the scalar full-transfer loop.
+        self.transfer_mode = check_transfer_mode(transfer_mode, evaluator)
 
     def perturb(self, solution: np.ndarray, rng: np.random.Generator) -> np.ndarray:
         """Flip ``perturbation_strength`` random distinct bits."""
@@ -66,6 +72,7 @@ class IteratedLocalSearch:
             self.evaluator,
             max_iterations=self.descent_max_iterations,
             target_fitness=self.target_fitness,
+            transfer_mode=self.transfer_mode,
         )
         incumbent_result = descent.run(initial_solution, rng)
         best = incumbent_result.best_solution.copy()
@@ -120,6 +127,7 @@ class VariableNeighborhoodSearch:
         max_iterations_per_descent: int = 1_000,
         max_rounds: int = 50,
         target_fitness: float = 0.0,
+        transfer_mode: str = "full",
     ) -> None:
         if max_order < 1:
             raise ValueError("max_order must be at least 1")
@@ -135,6 +143,11 @@ class VariableNeighborhoodSearch:
             factory(problem, KHammingNeighborhood(problem.n, k))
             for k in range(1, self.max_order + 1)
         ]
+        #: Transfer mode of every per-neighborhood descent (validated against
+        #: each evaluator, since the factory chooses the backend).
+        self.transfer_mode = transfer_mode
+        for evaluator in self.evaluators:
+            check_transfer_mode(transfer_mode, evaluator)
 
     def run(
         self,
@@ -167,6 +180,7 @@ class VariableNeighborhoodSearch:
                     self.evaluators[order_index],
                     max_iterations=self.max_iterations_per_descent,
                     target_fitness=self.target_fitness,
+                    transfer_mode=self.transfer_mode,
                 )
                 result = descent.run(best, rng)
                 iterations += result.iterations

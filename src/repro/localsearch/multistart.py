@@ -26,15 +26,17 @@ from typing import Iterator, Sequence
 import numpy as np
 
 from ..core.evaluators import NeighborhoodEvaluator, _fused_reduce
+from ..gpu.dtypes import TABU_NEVER
 from ..problems.base import as_solution
-from .base import TRANSFER_MODES
+from .base import REDUCED_SELECTION_MODES, check_transfer_mode
 from .result import LSResult
 
 __all__ = ["MultiStartResult", "MultiStartRunner"]
 
 #: Sentinel for "move never applied" in the vectorized tabu memory (matches
-#: the scalar :class:`~repro.localsearch.tabu.TabuSearch` encoding).
-_NEVER = -(2**62)
+#: the scalar :class:`~repro.localsearch.tabu.TabuSearch` encoding and the
+#: device-resident tabu memory).
+_NEVER = TABU_NEVER
 
 
 @dataclass
@@ -114,8 +116,12 @@ class MultiStartRunner:
         keeps the solution block device-resident and uploads only flipped
         bits; ``"reduced"`` additionally runs the fused on-device reduction
         so only ``(index, fitness)`` pairs come back — 16 bytes per replica
-        instead of the whole fitness row.  Both need a device-resident
-        evaluator and follow bit-identical trajectories to ``"full"``.
+        instead of the whole fitness row; ``"persistent"`` folds the whole
+        lockstep loop into a single persistent launch per run (the tabu
+        memory lives on-device, the host drains a 16 B/replica result ring
+        and writes ``O(S)`` early-stop flags, and the launch overhead is
+        paid once).  All need a device-resident evaluator and follow
+        bit-identical trajectories to ``"full"``.
     """
 
     ALGORITHMS = ("tabu", "hill-climbing", "first-improvement")
@@ -136,16 +142,7 @@ class MultiStartRunner:
             raise ValueError(
                 f"unknown algorithm {algorithm!r}; expected one of {self.ALGORITHMS}"
             )
-        if transfer_mode not in TRANSFER_MODES:
-            raise ValueError(
-                f"unknown transfer_mode {transfer_mode!r}; expected one of {TRANSFER_MODES}"
-            )
-        if transfer_mode != "full" and not evaluator.supports_device_residency:
-            raise ValueError(
-                f"transfer_mode={transfer_mode!r} needs a device-resident evaluator "
-                f"(got {type(evaluator).__name__}); use the GPU backends or \"full\""
-            )
-        self.transfer_mode = transfer_mode
+        self.transfer_mode = check_transfer_mode(transfer_mode, evaluator)
         self.evaluator = evaluator
         self.problem = evaluator.problem
         self.neighborhood = evaluator.neighborhood
@@ -266,10 +263,24 @@ class MultiStartRunner:
 
         Device-side semantics exactly mirror :meth:`_select`, so the
         trajectories stay bit-identical; only ``(index, fitness)`` pairs —
-        plus, for tabu, the admissibility mask going up — cross PCIe.
+        plus, for tabu, the ``O(S)`` iteration stamps of the device-resident
+        tabu memory (or the admissibility mask, when the memory is still
+        host-side) going up — cross PCIe.
         """
         num_active = active_idx.size
         if self.algorithm == "tabu":
+            if last_applied is None:
+                # Device-resident tabu memory: the admissibility mask is
+                # derived next to the reduction from the resident
+                # ``last_applied`` stamps, the robust-tabu escape resolves
+                # on-device, and the winning stamps are updated in place.
+                indices, fits = self.evaluator.evaluate_resident(
+                    active_idx,
+                    reduce="argmin",
+                    tabu_iterations=iterations,
+                    aspiration_fitness=best_fitness if self.aspiration else None,
+                )
+                return indices, fits, np.zeros(num_active, dtype=bool)
             if self.tenure == 0:
                 admissible = np.ones((num_active, self.neighborhood.size), dtype=bool)
             else:
@@ -330,17 +341,31 @@ class MultiStartRunner:
         active = np.ones(num_replicas, dtype=bool)
         reasons = np.array(["max_iterations"] * num_replicas, dtype=object)
         histories: list[list[float]] = [[] for _ in range(num_replicas)]
-        last_applied = (
-            np.full((num_replicas, size), _NEVER, dtype=np.int64)
-            if self.algorithm == "tabu"
-            else None
-        )
 
         resident = self.transfer_mode != "full"
+        reduced_path = self.transfer_mode in REDUCED_SELECTION_MODES
+        # The tabu memory moves device-resident whenever selection happens
+        # in the fused reduction and the backend supports it: the host then
+        # never materializes (nor uploads) the O(S·M) admissibility data.
+        device_tabu = (
+            reduced_path
+            and self.algorithm == "tabu"
+            and hasattr(self.evaluator, "init_tabu_memory")
+        )
+        last_applied = (
+            np.full((num_replicas, size), _NEVER, dtype=np.int64)
+            if self.algorithm == "tabu" and not device_tabu
+            else None
+        )
         if resident:
             # The whole (R, n) block crosses PCIe once; afterwards only
-            # flipped-bit deltas go up.
-            self.evaluator.begin_search(current)
+            # flipped-bit deltas go up ("persistent" additionally opens the
+            # run's single persistent launch).
+            self.evaluator.begin_search(
+                current, persistent=self.transfer_mode == "persistent"
+            )
+            if device_tabu:
+                self.evaluator.init_tabu_memory(self.tenure)
 
         lockstep = 0
         while True:
@@ -360,7 +385,7 @@ class MultiStartRunner:
             step_wall = time.perf_counter()
             step_sim = self.evaluator.stats.simulated_time
             sub_last = last_applied[active_idx] if last_applied is not None else None
-            if self.transfer_mode == "reduced":
+            if reduced_path:
                 indices, selected_fitness, optima = self._select_reduced(
                     active_idx,
                     current_fitness[active_idx],
@@ -395,7 +420,9 @@ class MultiStartRunner:
                 moves = mapping.from_flat_batch(move_idx)
                 current[movers[:, None], moves] ^= 1
                 if resident:
-                    # Delta packet: one (replica, bit) pair per flipped bit.
+                    # Delta packet: one (replica, bit) pair per flipped bit
+                    # (free inside a persistent launch — the resident grid
+                    # scattered its own selection).
                     self.evaluator.apply_deltas(
                         np.repeat(movers, moves.shape[1]), moves.reshape(-1)
                     )

@@ -14,7 +14,8 @@ import numpy as np
 
 from ..core.evaluators import NeighborhoodEvaluator
 from ..core.selection import SelectedMove, best_admissible_move
-from .base import NeighborhoodLocalSearch
+from ..gpu.dtypes import TABU_NEVER
+from .base import REDUCED_SELECTION_MODES, NeighborhoodLocalSearch
 from .stopping import StoppingCriterion
 
 __all__ = ["TabuSearch"]
@@ -67,12 +68,34 @@ class TabuSearch(NeighborhoodLocalSearch):
         self.tenure = int(tenure)
         self.aspiration = bool(aspiration)
         # last_applied[i] = iteration at which flat move i was last applied
-        # (-inf semantics encoded as a very negative integer).
-        self._last_applied = np.full(self.neighborhood.size, -(2**62), dtype=np.int64)
+        # (-inf semantics encoded as the sentinel shared with the
+        # device-resident tabu memory).
+        self._last_applied = np.full(self.neighborhood.size, TABU_NEVER, dtype=np.int64)
+        # Whether the current run's tabu memory lives in device global
+        # memory (set per run by prepare_resident_session).
+        self._device_tabu = False
 
     # ------------------------------------------------------------------
     def on_start(self, initial_solution: np.ndarray, initial_fitness: float) -> None:
-        self._last_applied.fill(-(2**62))
+        self._last_applied.fill(TABU_NEVER)
+        self._device_tabu = False
+
+    def prepare_resident_session(self) -> None:
+        """Move the tabu memory device-resident for this run's session.
+
+        Only the modes whose selection happens in the fused reduction
+        consume it ("delta" selects host-side); the per-iteration tabu
+        packet then shrinks from the ``O(M/8)`` bit-packed admissibility
+        mask to a single ``O(1)`` iteration stamp, and the robust-tabu
+        escape resolves on-device instead of via an extra fitness fetch.
+        The host-side ``_last_applied`` array keeps tracking the same
+        values so ``tabu_mask`` stays answerable.
+        """
+        if self.transfer_mode in REDUCED_SELECTION_MODES and hasattr(
+            self.evaluator, "init_tabu_memory"
+        ):
+            self.evaluator.init_tabu_memory(self.tenure)
+            self._device_tabu = True
 
     def tabu_mask(self, iteration: int) -> np.ndarray:
         """Boolean mask of the moves currently forbidden by the tabu memory."""
@@ -103,14 +126,20 @@ class TabuSearch(NeighborhoodLocalSearch):
         self._last_applied[selected.index] = iteration
 
     # ------------------------------------------------------------------
-    # Reduced transfer path: the admissibility mask goes up with the delta
-    # packet, the fused argmin applies the aspiration criterion on-device
-    # and only the winning (index, fitness) pair comes back.
+    # Reduced transfer path: with the device-resident tabu memory only the
+    # replica's iteration stamp goes up (the admissibility mask is derived
+    # next to the fused argmin, which also applies aspiration and resolves
+    # the robust-tabu escape on-device); without it the bit-packed mask is
+    # uploaded with the delta packet.  Either way only the winning
+    # (index, fitness) pair comes back.
     # ------------------------------------------------------------------
     def reduction_inputs(
         self, current_fitness: float, best_fitness: float, iteration: int
     ) -> dict:
-        inputs = {"admissible": ~self.tabu_mask(iteration)[None, :]}
+        if self._device_tabu:
+            inputs = {"tabu_iterations": np.array([iteration], dtype=np.int64)}
+        else:
+            inputs = {"admissible": ~self.tabu_mask(iteration)[None, :]}
         if self.aspiration:
             inputs["aspiration_fitness"] = np.array([best_fitness], dtype=np.float64)
         return inputs
@@ -124,9 +153,11 @@ class TabuSearch(NeighborhoodLocalSearch):
         iteration: int,
     ) -> SelectedMove | None:
         if index < 0:
-            # Every move tabu, none aspirated: robust-tabu escape to the
-            # oldest move.  Its fitness is fetched individually (8 bytes)
-            # since the full array never crossed PCIe.
+            # Every move tabu, none aspirated, and the tabu memory is
+            # host-side: robust-tabu escape to the oldest move.  Its fitness
+            # is fetched individually (8 bytes) since the full array never
+            # crossed PCIe.  (With the device-resident memory the escape
+            # already happened on-device and index is never negative.)
             oldest = int(np.argmin(self._last_applied))
             fitness = float(self.evaluator.fetch_fitnesses([0], [oldest])[0])
             return SelectedMove(index=oldest, fitness=fitness)

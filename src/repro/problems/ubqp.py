@@ -59,34 +59,24 @@ class UBQP(BinaryProblem):
             raise ValueError(f"expected a (batch, {self.n}) array, got {X.shape}")
         return np.einsum("bi,ij,bj->b", X, self.Q, X)
 
-    def evaluate_neighborhood(self, solution, moves, *, chunk: int = 8_192) -> np.ndarray:
+    def evaluate_neighborhood(self, solution, moves) -> np.ndarray:
         """Incremental evaluation of k-bit flips.
 
         For a flip of bit ``p`` (``x_p -> 1 - x_p``, i.e. ``d_p = 1 - 2 x_p``)
         the change of ``x^T Q x`` is ``d_p * (Q_pp * d_p + 2 * (Q x)_p)``
         corrected, for multi-bit moves, by the cross terms
         ``2 * d_p d_q Q_pq`` for every flipped pair ``p < q``.
+
+        Delegates to :meth:`evaluate_neighborhood_batch` with a single-row
+        block: floating-point accumulation order then matches the batched
+        kernels exactly, which is what keeps the ``full`` transfer mode
+        bit-identical to the device-resident ones on real-valued ``Q``.
         """
-        x = as_solution(solution, self.n).astype(np.float64)
+        x = as_solution(solution, self.n)
         moves = np.asarray(moves, dtype=np.int64)
         if moves.ndim != 2:
             raise ValueError(f"expected an (num_moves, k) move array, got {moves.shape}")
-        num_moves, k = moves.shape
-        base = float(x @ self.Q @ x)
-        qx = self.Q @ x  # (n,)
-        d = 1.0 - 2.0 * x  # flip direction per bit
-        out = np.empty(num_moves, dtype=np.float64)
-        for start in range(0, num_moves, chunk):
-            block = moves[start : start + chunk]
-            dm = d[block]  # (c, k)
-            # single-bit contributions
-            delta = (dm * (np.diag(self.Q)[block] * dm + 2.0 * qx[block])).sum(axis=1)
-            # pairwise cross terms between flipped bits
-            for a in range(k):
-                for b in range(a + 1, k):
-                    delta += 2.0 * dm[:, a] * dm[:, b] * self.Q[block[:, a], block[:, b]]
-            out[start : start + block.shape[0]] = base + delta
-        return out
+        return self.evaluate_neighborhood_batch(x[None, :], moves)[0]
 
     def evaluate_neighborhood_batch(
         self, solutions, moves, *, element_budget: int = 4_194_304
