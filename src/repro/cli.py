@@ -63,6 +63,13 @@ def build_parser() -> argparse.ArgumentParser:
                             "device-resident with flipped-bit deltas, deltas plus the "
                             "fused on-device reduction, or one persistent launch per "
                             "run with the whole loop on-device (GPU evaluators only)")
+    p_exp.add_argument("--devices", type=int, default=None,
+                       help="device count of the multi-gpu pool "
+                            "(only with --evaluator multi-gpu)")
+    p_exp.add_argument("--pinned", action=argparse.BooleanOptionalAction, default=False,
+                       help="stage host transfers through pinned (page-locked) "
+                            "memory on the GPU evaluators; --no-pinned keeps the "
+                            "pageable model (the default)")
     p_exp.add_argument("--jobs", type=int, default=1,
                        help="worker processes for --trial-mode parallel")
 
@@ -85,6 +92,9 @@ def build_parser() -> argparse.ArgumentParser:
                          choices=("full", "delta", "reduced", "persistent"),
                          help="host<->device transfer strategy (GPU platforms); "
                               "\"persistent\" runs the whole search in one launch")
+    p_solve.add_argument("--pinned", action=argparse.BooleanOptionalAction, default=False,
+                         help="stage host transfers through pinned memory "
+                              "(GPU platforms)")
 
     sub.add_parser("devices", help="list the simulated GPU device presets")
 
@@ -134,10 +144,13 @@ def _cmd_experiment(args) -> int:
         trial_mode=args.trial_mode,
         n_jobs=args.jobs,
         transfer_mode=args.transfer_mode,
+        devices=args.devices,
+        pinned=args.pinned,
     )
     print(f"instance: {args.m} x {n} PPP, {args.k}-Hamming neighborhood, "
           f"{args.trials} trials ({args.trial_mode} mode, {args.evaluator} evaluator, "
-          f"{args.transfer_mode} transfers)")
+          f"{args.transfer_mode} transfers"
+          + (", pinned memory" if args.pinned else "") + ")")
     print(f"fitness: {row.mean_fitness:.2f} +/- {row.std_fitness:.2f}, "
           f"successes: {row.successes}/{row.num_trials}, "
           f"mean iterations: {row.mean_iterations:.1f}")
@@ -150,6 +163,11 @@ def _cmd_experiment(args) -> int:
               f"{format_bytes(row.d2h_bytes)} down; {row.kernel_launches} kernel "
               f"launches; simulated device elapsed {format_time(row.sim_elapsed_s)} "
               f"(overlap saved {format_time(row.overlap_saved_s)})")
+    if row.num_devices > 1:
+        print(f"device pool: {row.num_devices} devices, "
+              f"peer-to-peer traffic {format_bytes(row.p2p_bytes)}, "
+              f"serialized per-device sum {format_time(row.serialized_device_s)} "
+              f"(cross-device overlap saved {format_time(row.cross_device_overlap_s)})")
     return 0
 
 
@@ -174,9 +192,13 @@ def _cmd_solve(args) -> int:
     if args.platform == "cpu":
         evaluator = CPUEvaluator(problem, neighborhood)
     elif args.platform == "gpu":
-        evaluator = GPUEvaluator(problem, neighborhood, use_texture_memory=args.texture)
+        evaluator = GPUEvaluator(
+            problem, neighborhood, use_texture_memory=args.texture, pinned=args.pinned
+        )
     else:
-        evaluator = MultiGPUEvaluator(problem, neighborhood, devices=args.devices)
+        evaluator = MultiGPUEvaluator(
+            problem, neighborhood, devices=args.devices, pinned=args.pinned
+        )
 
     print(f"instance: {args.m} x {args.n} PPP, {args.k}-Hamming neighborhood "
           f"({neighborhood.size} neighbors), platform: {args.platform}, "
@@ -199,6 +221,10 @@ def _cmd_devices(_args) -> int:
         print(f"{key:12s} {dev.name:28s} {dev.multiprocessors:3d} SMs x {dev.cores_per_mp} cores @ "
               f"{dev.clock_hz / 1e9:.2f} GHz, {dev.mem_bandwidth / 1e9:.0f} GB/s, "
               f"{dev.global_mem_bytes // 2**20} MiB")
+        p2p = (f"p2p {dev.p2p_bandwidth / 1e9:.1f} GB/s"
+               if dev.p2p_capable else "no p2p")
+        print(f"{'':12s} PCIe {dev.pcie_bandwidth / 1e9:.1f} GB/s pageable / "
+              f"{dev.pcie_pinned_bandwidth / 1e9:.1f} GB/s pinned, {p2p}")
     host = XEON_3GHZ
     print(f"{'host':12s} {host.name:28s} {host.cores} cores @ {host.clock_hz / 1e9:.1f} GHz "
           f"(baseline uses a single core)")

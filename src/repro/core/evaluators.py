@@ -47,6 +47,7 @@ from ..gpu.dtypes import (
     DELTA_DTYPE,
     FITNESS_BYTES,
     FITNESS_DTYPE,
+    PEER_PACKET_HEADER_BYTES,
     REDUCED_PAIR_DTYPE,
     REDUCED_RESULT_BYTES,
     SOLUTION_DTYPE,
@@ -56,8 +57,9 @@ from ..gpu.dtypes import (
 )
 from ..gpu.hierarchy import DEFAULT_BLOCK_SIZE
 from ..gpu.kernel import ExecutionMode, Kernel, PersistentKernel
-from ..gpu.multi_device import MultiGPU, partition_range
+from ..gpu.multi_device import MultiGPU, weighted_partition_range
 from ..gpu.runtime import DeviceLoop, GPUContext, PersistentLaunchRecord
+from ..gpu.scheduler import DeviceScheduler
 from ..gpu.streams import COPY_STREAM, DOWNLOAD_STREAM
 from ..gpu.timing import HostTimingModel
 from ..neighborhoods import Neighborhood
@@ -323,9 +325,12 @@ class GPUEvaluator(NeighborhoodEvaluator):
         mode: ExecutionMode = ExecutionMode.VECTORIZED,
         context: GPUContext | None = None,
         use_texture_memory: bool = False,
+        pinned: bool = False,
     ) -> None:
         super().__init__(problem, neighborhood)
-        self.context = context if context is not None else GPUContext(device, mode=mode)
+        self.context = (
+            context if context is not None else GPUContext(device, mode=mode, pinned=pinned)
+        )
         self.block_size = int(block_size)
         self.use_texture_memory = bool(use_texture_memory)
         self.kernel = build_neighborhood_kernel(
@@ -399,7 +404,7 @@ class GPUEvaluator(NeighborhoodEvaluator):
         # Device -> host: the fitness array, for host-side move selection,
         # at the width of the shared fitness dtype.
         d2h_bytes = float(FITNESS_BYTES) * num_fitnesses
-        duration = context.timing.transfer_time(d2h_bytes)
+        duration = context.timing.transfer_time(d2h_bytes, context._host_kind(None))
         context.stats.transfer_time += duration
         context.stats.d2h_bytes += int(d2h_bytes)
         context.timeline.schedule_sync("d2h", "fitnesses", duration)
@@ -568,13 +573,20 @@ class GPUEvaluator(NeighborhoodEvaluator):
         self._tabu_last_applied = buf.data
         self._tabu_tenure = int(tenure)
 
-    def apply_deltas(self, replicas: np.ndarray, bits: np.ndarray) -> None:
+    def apply_deltas(
+        self, replicas: np.ndarray, bits: np.ndarray, *, stage: bool = True
+    ) -> None:
         """Send only the flipped bits: ``(replica, bit)`` int32 pairs.
 
         ``O(S·k)`` bytes per iteration instead of re-uploading the whole
         ``(S, n)`` block.  The pairs are staged host-side and cross PCIe as
         a single delta packet when the next resident evaluation is issued
         (the device folds the scatter into the evaluation launch).
+
+        ``stage=False`` updates only the functional mirror and skips the
+        host-side staging: the multi-GPU scheduler uses it when the packet
+        reaches this device over a peer-to-peer link instead of PCIe (the
+        arrival is then recorded through :meth:`note_peer_delivery`).
         """
         if self._resident is None:
             raise RuntimeError("begin_search must be called before apply_deltas")
@@ -595,7 +607,64 @@ class GPUEvaluator(NeighborhoodEvaluator):
             # delta packet ever crosses PCIe.  Only the host mirror is kept
             # in sync here.
             return
+        if not stage:
+            return
         self._staged_deltas.append(np.stack([replicas, bits], axis=1).astype(DELTA_DTYPE))
+
+    def note_peer_delivery(self, time: float) -> None:
+        """Order the next resident launch after a peer-delivered packet.
+
+        The multi-GPU delta router ships this device's packet over a P2P
+        link (or through the hub upload, for the hub device itself); the
+        next evaluation kernel must not start before the packet has landed.
+        """
+        self._sync_time = max(self._sync_time, float(time))
+
+    def _adopt_resident(
+        self,
+        solutions: np.ndarray,
+        *,
+        tenure: int | None = None,
+        stamps: np.ndarray | None = None,
+        arrival: float = 0.0,
+    ) -> None:
+        """Install an ``(R, n)`` resident block that arrived over a peer link.
+
+        Used by the multi-GPU rebalancer: the rows were already priced as
+        device-to-device (or host round trip) transfers, so this only
+        rebuilds the session state — device buffers, host mirrors, and the
+        device-resident tabu memory — without logging any further PCIe
+        traffic.  ``arrival`` orders the next launch after the migration.
+        """
+        self._check_open()
+        solutions = np.asarray(solutions, dtype=np.int8)
+        name = self._session_buffer("resident")
+        existing = self.context.memory.allocations.get(name)
+        if existing is not None and existing.data.shape != solutions.shape:
+            self.context.free(name)
+        if name not in self.context.memory.allocations:
+            self.context.alloc(name, solutions.shape, SOLUTION_DTYPE)
+        self.context.memory.get(name).data[...] = solutions.astype(SOLUTION_DTYPE)
+        self._resident = solutions.copy()
+        if tenure is not None:
+            tabu_name = self._session_buffer("tabu")
+            shape = (solutions.shape[0], self.neighborhood.size)
+            tabu_existing = self.context.memory.allocations.get(tabu_name)
+            if tabu_existing is not None and tabu_existing.data.shape != shape:
+                self.context.free(tabu_name)
+            if tabu_name not in self.context.memory.allocations:
+                self.context.alloc(tabu_name, shape, TABU_STAMP_DTYPE)
+            buf = self.context.memory.get(tabu_name)
+            if stamps is not None:
+                buf.data[...] = stamps
+            else:
+                buf.data.fill(TABU_NEVER)
+            self._tabu_last_applied = buf.data
+            self._tabu_tenure = int(tenure)
+        self._staged_deltas = []
+        self._last_fitnesses = None
+        self._last_rows = None
+        self.note_peer_delivery(arrival)
 
     def _resident_tabu_mask(
         self, rows: np.ndarray, stamps: np.ndarray, num_indices: int
@@ -943,7 +1012,7 @@ class GPUEvaluator(NeighborhoodEvaluator):
         context = self.context
         before = context.timeline.elapsed
         nbytes = int(FITNESS_BYTES) * values.size
-        duration = context.timing.transfer_time(nbytes)
+        duration = context.timing.transfer_time(nbytes, context._host_kind(None))
         context.stats.transfer_time += duration
         context.stats.d2h_bytes += nbytes
         interval = context.timeline.schedule(
@@ -1010,7 +1079,19 @@ class GPUEvaluator(NeighborhoodEvaluator):
 
 
 class MultiGPUEvaluator(NeighborhoodEvaluator):
-    """Partitioned exploration across several simulated devices."""
+    """Partitioned exploration across several concurrently-scheduled devices.
+
+    The pool is driven by a :class:`~repro.gpu.scheduler.DeviceScheduler`:
+    every device owns its own stream timeline and the per-device
+    upload/launch/reduce/download chains are issued asynchronously, ordered
+    only by events — so the elapsed simulated time of a step is the
+    cross-device makespan, not a serialized host loop.  Heterogeneous pools
+    are partitioned proportionally to each device's simulated throughput on
+    the neighborhood kernel; resident sessions route flipped-bit delta
+    packets device-to-device over P2P links (one host upload to a hub
+    device, peer forwards for the rest) and can migrate replicas between
+    devices to rebalance load, all without changing any trajectory.
+    """
 
     platform = "multi-gpu"
 
@@ -1022,9 +1103,12 @@ class MultiGPUEvaluator(NeighborhoodEvaluator):
         devices: int | list[DeviceSpec] = 2,
         block_size: int = DEFAULT_BLOCK_SIZE,
         mode: ExecutionMode = ExecutionMode.VECTORIZED,
+        pinned: bool = False,
+        peer_routing: bool = True,
     ) -> None:
         super().__init__(problem, neighborhood)
-        self.pool = MultiGPU(devices, mode=mode)
+        self.pool = MultiGPU(devices, mode=mode, pinned=pinned)
+        self.scheduler = DeviceScheduler(self.pool.contexts)
         self.block_size = int(block_size)
         self._sub_evaluators = [
             GPUEvaluator(
@@ -1035,64 +1119,109 @@ class MultiGPUEvaluator(NeighborhoodEvaluator):
             )
             for ctx in self.pool.contexts
         ]
-        # Per-device shape of the last uploaded solution slice (the buffers
-        # are reallocated when a device's share of the batch changes).
-        self._device_upload_shapes: dict[int, tuple[int, int]] = {}
+        #: Whether resident-session delta packets take the hub-upload +
+        #: peer-forward route instead of one host upload per device.  Only
+        #: possible when every device in the pool advertises peer access.
+        self.peer_routing = (
+            bool(peer_routing)
+            and self.num_devices > 1
+            and all(ctx.device.p2p_capable for ctx in self.pool.contexts)
+        )
         # Replica ranges [lo, hi) owned by each device in a resident session.
         self._replica_ranges: list[tuple[int, int]] | None = None
+        self._persistent = False
+        self._resident_tenure: int | None = None
 
     @property
     def num_devices(self) -> int:
         return self.pool.num_devices
 
+    def _kernel_cost(self):
+        """Cost profile used for throughput-proportional partitioning."""
+        return self._sub_evaluators[0].batch_kernel.cost
+
+    def _device_buffer(self, context: GPUContext, name: str, size: int):
+        """A per-device output buffer, reallocated when its size changes."""
+        existing = context.memory.allocations.get(name)
+        if existing is not None and existing.data.shape != (size,):
+            context.free(name)
+        if name not in context.memory.allocations:
+            context.alloc(name, (size,), FITNESS_DTYPE)
+        return context.memory.get(name).data
+
     def _evaluate(self, solution: np.ndarray, indices: np.ndarray) -> np.ndarray:
-        slices = np.array_split(indices, self.num_devices)
+        """Concurrent per-device async chains over a partitioned index space."""
+        scheduler = self.scheduler
+        before = scheduler.makespan
         out = np.empty(indices.size, dtype=np.float64)
-        offset = 0
-        per_device_times = []
-        for evaluator, part in zip(self._sub_evaluators, slices):
+        parts = self.pool.partitions(indices.size, self._kernel_cost())
+        for evaluator, part in zip(self._sub_evaluators, parts):
             if part.size == 0:
-                per_device_times.append(0.0)
                 continue
-            before = evaluator.stats.simulated_time
-            out[offset : offset + part.size] = evaluator.evaluate(solution, part)
-            per_device_times.append(evaluator.stats.simulated_time - before)
-            offset += part.size
-        # Devices run concurrently: the step costs as much as the slowest one.
-        self.stats.simulated_time += max(per_device_times) if per_device_times else 0.0
+            context = evaluator.context
+            dev = part.device_index
+            part_indices = indices[part.start : part.stop]
+            upload = context.copy_async(
+                f"solution:{id(self)}:{dev}", solution.astype(SOLUTION_DTYPE)
+            )
+            buffer_name = f"slice_out:{id(self)}:{dev}"
+            sub_out = self._device_buffer(context, buffer_name, part.size)
+
+            def vectorized_fn(tids, solution_arr, out_arr, part_indices=part_indices):
+                moves = self.neighborhood.mapping.from_flat_batch(part_indices[tids])
+                out_arr[tids] = self.problem.evaluate_neighborhood(solution_arr, moves)
+
+            slice_kernel = Kernel(
+                name=evaluator.kernel.name + f"[slice:{dev}]",
+                vectorized_fn=vectorized_fn,
+                cost=evaluator.kernel.cost,
+            )
+            _, kernel_event = context.launch_async(
+                slice_kernel,
+                part.size,
+                (solution, sub_out),
+                wait_for=[upload],
+                block_size=self.block_size,
+            )
+            data, _ = context.download_async(buffer_name, wait_for=kernel_event)
+            out[part.start : part.stop] = data
+        # Devices run concurrently: the step advances the pool-level clock
+        # by the cross-device makespan increase, not by a per-device sum.
+        self.stats.simulated_time += scheduler.makespan - before
         return out
 
     def _evaluate_many(self, solutions: np.ndarray, indices: np.ndarray) -> np.ndarray:
         """Partition the flat ``S x M`` (replica, neighbor) space across devices.
 
         Each device receives a contiguous slice of the flattened batch (it
-        may span several replicas), uploads only the solution rows that
-        slice touches and runs one launch; the step's elapsed simulated time
-        is the slowest device's, as the devices run concurrently.
+        may span several replicas) sized by its simulated throughput,
+        uploads only the solution rows that slice touches and runs one
+        asynchronous upload -> launch -> download chain; the chains of
+        different devices overlap freely, so the step costs the cross-device
+        makespan.
         """
         num_solutions, num_indices = solutions.shape[0], indices.size
         flat_total = num_solutions * num_indices
         out = np.empty(flat_total, dtype=np.float64)
-        per_device_times = []
         mapping = self.neighborhood.mapping
-        for evaluator, part in zip(self._sub_evaluators, self.pool.partitions(flat_total)):
+        scheduler = self.scheduler
+        before = scheduler.makespan
+        parts = self.pool.partitions(flat_total, self._kernel_cost())
+        for evaluator, part in zip(self._sub_evaluators, parts):
             if part.size == 0:
-                per_device_times.append(0.0)
                 continue
             context = evaluator.context
-            before = context.stats.total_time
+            dev = part.device_index
             flat_ids = np.arange(part.start, part.stop, dtype=np.int64)
             replica_ids = flat_ids // num_indices
             neighbor_ids = indices[flat_ids % num_indices]
             replica_lo = int(replica_ids[0])
             block = solutions[replica_lo : int(replica_ids[-1]) + 1]
-            name = f"solutions:{id(self)}:{part.device_index}"
-            previous = self._device_upload_shapes.get(part.device_index)
-            if previous is not None and previous != block.shape:
-                context.free(name)
-            self._device_upload_shapes[part.device_index] = block.shape
-            context.to_device(name, block.astype(np.int32))
-            sub_out = np.empty(part.size, dtype=np.float64)
+            upload = context.copy_async(
+                f"solutions:{id(self)}:{dev}", block.astype(SOLUTION_DTYPE)
+            )
+            buffer_name = f"batch_out:{id(self)}:{dev}"
+            sub_out = self._device_buffer(context, buffer_name, part.size)
             local_replicas = replica_ids - replica_lo
 
             def vectorized_fn(tids, solutions_arr, out_arr,
@@ -1105,17 +1234,20 @@ class MultiGPUEvaluator(NeighborhoodEvaluator):
                     )
 
             slice_kernel = Kernel(
-                name=evaluator.batch_kernel.name + f"[slice:{part.device_index}]",
+                name=evaluator.batch_kernel.name + f"[slice:{dev}]",
                 vectorized_fn=vectorized_fn,
                 cost=evaluator.batch_kernel.cost,
             )
-            context.launch(
-                slice_kernel, part.size, (block, sub_out), block_size=self.block_size
+            _, kernel_event = context.launch_async(
+                slice_kernel,
+                part.size,
+                (block, sub_out),
+                wait_for=[upload],
+                block_size=self.block_size,
             )
-            evaluator._account_d2h(context, part.size)
-            per_device_times.append(context.stats.total_time - before)
-            out[part.start : part.stop] = sub_out
-        self.stats.simulated_time += max(per_device_times) if per_device_times else 0.0
+            data, _ = context.download_async(buffer_name, wait_for=kernel_event)
+            out[part.start : part.stop] = data
+        self.stats.simulated_time += scheduler.makespan - before
         return out.reshape(num_solutions, num_indices)
 
     # ------------------------------------------------------------------
@@ -1134,9 +1266,10 @@ class MultiGPUEvaluator(NeighborhoodEvaluator):
     def begin_search(self, solutions: np.ndarray, *, persistent: bool = False) -> None:
         """Split the ``(R, n)`` block into contiguous replica ranges, one per device.
 
-        With ``persistent=True`` every owning device opens its own
-        persistent launch over its replica slice (one launch per device per
-        run — the multi-GPU analogue of the single-launch invariant).
+        A heterogeneous pool receives ranges proportional to device
+        throughput.  With ``persistent=True`` every owning device opens its
+        own persistent launch over its replica slice (one launch per device
+        per run — the multi-GPU analogue of the single-launch invariant).
         """
         solutions = np.asarray(solutions, dtype=np.int8)
         if solutions.ndim != 2 or solutions.shape[1] != self.problem.n:
@@ -1146,34 +1279,108 @@ class MultiGPUEvaluator(NeighborhoodEvaluator):
         if solutions.shape[0] == 0:
             raise ValueError("need at least one replica to start a resident search")
         self.end_search()
-        parts = partition_range(solutions.shape[0], self.num_devices)
+        parts = self.pool.partitions(solutions.shape[0], self._kernel_cost())
         self._replica_ranges = [(part.start, part.stop) for part in parts]
-        per_device_times = []
+        self._persistent = bool(persistent)
+        before = self.scheduler.makespan
         for evaluator, lo, hi in self._resident_parts():
-            before = evaluator.context.timeline.elapsed
             evaluator.begin_search(solutions[lo:hi], persistent=persistent)
-            per_device_times.append(evaluator.context.timeline.elapsed - before)
-        # Devices upload their slices concurrently.
-        self.stats.simulated_time += max(per_device_times) if per_device_times else 0.0
+        # Devices upload their slices concurrently (independent timelines).
+        self.stats.simulated_time += self.scheduler.makespan - before
 
     def init_tabu_memory(self, tenure: int) -> None:
         """Allocate each device's slice of the resident tabu memory."""
+        self._resident_tenure = int(tenure)
         for evaluator, _lo, _hi in self._resident_parts():
             evaluator.init_tabu_memory(tenure)
 
     def apply_deltas(self, replicas: np.ndarray, bits: np.ndarray) -> None:
-        """Route each ``(replica, bit)`` pair to the device owning the replica."""
+        """Route each ``(replica, bit)`` pair to the device owning the replica.
+
+        With peer routing active (every device P2P-capable), the combined
+        delta packet crosses PCIe **once** — to a hub device — and each
+        other device's slice is forwarded device-to-device over the peer
+        link, with the next evaluation launches ordered after the arrival
+        events.  Otherwise every device's slice is staged for its own host
+        upload (the seed behaviour).  Inside a persistent launch no packet
+        moves at all: the resident grids scattered their own selections.
+        """
         replicas = np.asarray(replicas, dtype=np.int64).ravel()
         bits = np.asarray(bits, dtype=np.int64).ravel()
-        per_device_times = []
+        before = self.scheduler.makespan
+        resident_session = self._replica_ranges is not None and not self._persistent
+        route_peer = self.peer_routing and resident_session and replicas.size > 0
+        per_device: list[tuple[GPUEvaluator, np.ndarray]] = []
         for evaluator, lo, hi in self._resident_parts():
             mask = (replicas >= lo) & (replicas < hi)
             if not mask.any():
                 continue
-            before = evaluator.context.timeline.elapsed
-            evaluator.apply_deltas(replicas[mask] - lo, bits[mask])
-            per_device_times.append(evaluator.context.timeline.elapsed - before)
-        self.stats.simulated_time += max(per_device_times) if per_device_times else 0.0
+            evaluator.apply_deltas(
+                replicas[mask] - lo, bits[mask], stage=not route_peer
+            )
+            if route_peer:
+                pairs = np.stack(
+                    [replicas[mask] - lo, bits[mask]], axis=1
+                ).astype(DELTA_DTYPE)
+                per_device.append((evaluator, pairs))
+            elif resident_session:
+                # One host-issued packet per owning device: the driver calls
+                # serialize on the host, which is exactly the per-device
+                # latency wall the hub + peer-forward route amortizes.
+                issue = self.scheduler.host_op(
+                    "issue",
+                    f"deltas:gpu{self.pool.contexts.index(evaluator.context)}",
+                    evaluator.context.device.pcie_latency,
+                )
+                evaluator.note_peer_delivery(issue.time)
+        if route_peer and per_device:
+            self._route_deltas_peer(per_device)
+        self.stats.simulated_time += self.scheduler.makespan - before
+
+    def _route_deltas_peer(
+        self, per_device: list[tuple["GPUEvaluator", np.ndarray]]
+    ) -> None:
+        """Hub upload + P2P forwards for one combined delta packet.
+
+        The host pays one driver issue and one PCIe transaction (to the hub
+        device — device 0); every other device's slice then travels over the
+        peer link, with a small routing header per forwarded slice.  The
+        forwarded bytes are accounted as ``p2p_bytes`` only — they never
+        touch the h2d/d2h counters, because they never revisit the host.
+        """
+        hub = self._sub_evaluators[0]
+        hub_context = hub.context
+        remote = [(sub, pairs) for sub, pairs in per_device if sub is not hub]
+        chunks = [pairs.reshape(-1).view(np.uint8) for _, pairs in per_device]
+        if remote:
+            chunks.append(
+                np.zeros(len(remote) * PEER_PACKET_HEADER_BYTES, dtype=np.uint8)
+            )
+        packet = np.concatenate(chunks)
+        issue = self.scheduler.host_op(
+            "issue", "delta_hub", hub_context.device.pcie_latency
+        )
+        upload = hub_context.copy_async(
+            f"delta_hub:{id(self)}",
+            packet,
+            not_before=max(hub._sync_time, issue.time),
+        )
+        if any(sub is hub for sub, _ in per_device):
+            hub.note_peer_delivery(upload.time)
+        for sub, pairs in remote:
+            payload = np.concatenate(
+                [
+                    pairs.reshape(-1).view(np.uint8),
+                    np.zeros(PEER_PACKET_HEADER_BYTES, dtype=np.uint8),
+                ]
+            )
+            arrival = hub_context.copy_peer_async(
+                sub.context,
+                sub._session_buffer("deltas"),
+                payload,
+                wait_for=[upload],
+            )
+            sub.note_peer_delivery(arrival.time)
 
     def evaluate_resident(
         self,
@@ -1209,6 +1416,7 @@ class MultiGPUEvaluator(NeighborhoodEvaluator):
         else:
             out_indices = np.empty(num_solutions, dtype=np.int64)
             out_best = np.empty(num_solutions, dtype=np.float64)
+        before_makespan = self.scheduler.makespan
         per_device_times = []
         for evaluator, lo, hi in self._resident_parts():
             mask = (rows >= lo) & (rows < hi)
@@ -1235,7 +1443,15 @@ class MultiGPUEvaluator(NeighborhoodEvaluator):
                 out_indices[mask], out_best[mask] = sub
         self.stats.calls += 1
         self.stats.evaluations += num_solutions * num_indices
-        self.stats.simulated_time += max(per_device_times) if per_device_times else 0.0
+        if self._persistent:
+            # Inside persistent launches the stream clocks advance only at
+            # session end; the elapsed contribution is the slowest device's
+            # accumulated on-device time.
+            self.stats.simulated_time += (
+                max(per_device_times) if per_device_times else 0.0
+            )
+        else:
+            self.stats.simulated_time += self.scheduler.makespan - before_makespan
         if reduce is None:
             return out_fitnesses
         return out_indices, out_best
@@ -1245,21 +1461,198 @@ class MultiGPUEvaluator(NeighborhoodEvaluator):
         replicas = np.asarray(replicas, dtype=np.int64).ravel()
         move_indices = np.asarray(move_indices, dtype=np.int64).ravel()
         out = np.empty(replicas.size, dtype=np.float64)
-        per_device_times = []
+        before = self.scheduler.makespan
         for evaluator, lo, hi in self._resident_parts():
             mask = (replicas >= lo) & (replicas < hi)
             if not mask.any():
                 continue
-            before = evaluator.context.timeline.elapsed
             out[mask] = evaluator.fetch_fitnesses(replicas[mask] - lo, move_indices[mask])
-            per_device_times.append(evaluator.context.timeline.elapsed - before)
-        self.stats.simulated_time += max(per_device_times) if per_device_times else 0.0
+        self.stats.simulated_time += self.scheduler.makespan - before
         return out
+
+    # ------------------------------------------------------------------
+    # Replica migration (load rebalancing over the peer links)
+    # ------------------------------------------------------------------
+    def rebalance_resident(self, active: np.ndarray | None = None) -> int:
+        """Migrate resident replicas between devices to rebalance load.
+
+        Recomputes the contiguous ownership ranges so that the *active*
+        replicas (all of them, when no mask is given) are split across the
+        pool proportionally to device throughput, then ships every row that
+        changes owner — its solution and, when the tabu memory is
+        device-resident, its stamp row — directly over the P2P links (or
+        through a host round trip on pools without peer access).  Purely a
+        placement/timing operation: every replica's functional state is
+        preserved exactly, so trajectories are unchanged.
+
+        Returns the number of migrated replicas.
+        """
+        if self._replica_ranges is None:
+            raise RuntimeError("begin_search must be called before rebalance_resident")
+        if self._persistent:
+            raise RuntimeError(
+                "cannot migrate replicas while persistent launches are open; "
+                "rebalancing applies to the delta/reduced transfer modes"
+            )
+        total = self._replica_ranges[-1][1]
+        if active is None:
+            active_mask = np.ones(total, dtype=bool)
+        else:
+            active_mask = np.asarray(active, dtype=bool).ravel()
+            if active_mask.shape != (total,):
+                raise ValueError(
+                    f"active mask must cover all {total} replicas, got {active_mask.shape}"
+                )
+        active_pos = np.nonzero(active_mask)[0]
+        if active_pos.size == 0:
+            return 0
+        weights = self.pool.throughput_weights(self._kernel_cost())
+        shares = weighted_partition_range(active_pos.size, weights)
+        bounds = [0]
+        consumed = 0
+        for i, share in enumerate(shares):
+            consumed += share.size
+            if i == len(shares) - 1 or consumed >= active_pos.size:
+                bounds.append(total)
+            elif share.size == 0 and consumed == 0:
+                bounds.append(bounds[-1])
+            else:
+                bounds.append(int(active_pos[consumed - 1]) + 1)
+        bounds = [min(b, total) for b in bounds]
+        for i in range(1, len(bounds)):
+            bounds[i] = max(bounds[i], bounds[i - 1])
+        new_ranges = [
+            (bounds[i], bounds[i + 1]) for i in range(self.num_devices)
+        ]
+        old_ranges = self._replica_ranges
+        if new_ranges == old_ranges:
+            return 0
+
+        # Snapshot the session's functional state in global replica order.
+        n, size = self.problem.n, self.neighborhood.size
+        global_block = np.empty((total, n), dtype=np.int8)
+        tabu_resident = self._resident_tenure is not None
+        global_tabu = (
+            np.empty((total, size), dtype=TABU_STAMP_DTYPE) if tabu_resident else None
+        )
+        staged_chunks = []
+        for evaluator, (lo, hi) in zip(self._sub_evaluators, old_ranges):
+            if hi <= lo:
+                continue
+            global_block[lo:hi] = evaluator._resident
+            if tabu_resident:
+                global_tabu[lo:hi] = evaluator._tabu_last_applied
+            for pairs in evaluator._staged_deltas:
+                shifted = pairs.astype(np.int64)
+                shifted[:, 0] += lo
+                staged_chunks.append(shifted)
+        staged_global = (
+            np.concatenate(staged_chunks)
+            if staged_chunks
+            else np.empty((0, 2), dtype=np.int64)
+        )
+
+        # Price the movement: one packet per (source, destination) pair.
+        migrated = 0
+        row_bytes = n * SOLUTION_DTYPE.itemsize + (
+            size * TABU_STAMP_DTYPE.itemsize if tabu_resident else 0
+        )
+        arrivals: dict[int, float] = {}
+        for src, (old_lo, old_hi) in enumerate(old_ranges):
+            for dst, (new_lo, new_hi) in enumerate(new_ranges):
+                if src == dst:
+                    continue
+                move_lo = max(old_lo, new_lo)
+                move_hi = min(old_hi, new_hi)
+                count = move_hi - move_lo
+                if count <= 0:
+                    continue
+                migrated += count
+                src_sub = self._sub_evaluators[src]
+                dst_sub = self._sub_evaluators[dst]
+                chunks = [
+                    np.ascontiguousarray(
+                        global_block[move_lo:move_hi].astype(SOLUTION_DTYPE)
+                    ).reshape(-1).view(np.uint8)
+                ]
+                if tabu_resident:
+                    chunks.append(
+                        np.ascontiguousarray(global_tabu[move_lo:move_hi])
+                        .reshape(-1)
+                        .view(np.uint8)
+                    )
+                payload = np.concatenate(chunks)
+                assert payload.nbytes == count * row_bytes
+                start = max(src_sub._sync_time, dst_sub._sync_time)
+                if src_sub.context.can_access_peer(dst_sub.context):
+                    arrival = src_sub.context.copy_peer_async(
+                        dst_sub.context,
+                        f"migrate:{id(self)}:{src}:{dst}",
+                        payload,
+                        not_before=start,
+                    )
+                    arrival_time = arrival.time
+                else:
+                    # No peer link: the rows take the classic host round trip
+                    # (device -> host -> device), both legs on the timelines.
+                    src_context, dst_context = src_sub.context, dst_sub.context
+                    down = src_context.timing.transfer_time(
+                        payload.nbytes, src_context._host_kind(None)
+                    )
+                    interval = src_context.timeline.schedule(
+                        "d2h", f"migrate:{src}->{dst}", down,
+                        stream=DOWNLOAD_STREAM, not_before=start,
+                    )
+                    src_context.stats.transfer_time += down
+                    src_context.stats.d2h_bytes += payload.nbytes
+                    up = dst_context.timing.transfer_time(
+                        payload.nbytes, dst_context._host_kind(None)
+                    )
+                    up_interval = dst_context.timeline.schedule(
+                        "h2d", f"migrate:{src}->{dst}", up,
+                        stream=COPY_STREAM, not_before=interval.end,
+                    )
+                    dst_context.stats.transfer_time += up
+                    dst_context.stats.h2d_bytes += payload.nbytes
+                    arrival_time = up_interval.end
+                arrivals[dst] = max(arrivals.get(dst, 0.0), arrival_time)
+                arrivals[src] = max(arrivals.get(src, 0.0), arrival_time)
+
+        # Rebuild every device's session slice from the global snapshot.
+        for index, (evaluator, (lo, hi)) in enumerate(
+            zip(self._sub_evaluators, new_ranges)
+        ):
+            if hi <= lo:
+                if evaluator._resident is not None:
+                    evaluator.end_search()
+                continue
+            stamps = global_tabu[lo:hi] if tabu_resident else None
+            evaluator._adopt_resident(
+                global_block[lo:hi],
+                tenure=self._resident_tenure,
+                stamps=stamps,
+                arrival=arrivals.get(index, 0.0),
+            )
+            mask = (staged_global[:, 0] >= lo) & (staged_global[:, 0] < hi)
+            if mask.any():
+                local = staged_global[mask].copy()
+                local[:, 0] -= lo
+                evaluator._staged_deltas = [local.astype(DELTA_DTYPE)]
+        self._replica_ranges = new_ranges
+        return migrated
 
     def end_search(self) -> None:
         for evaluator in self._sub_evaluators:
             evaluator.end_search()
+        # Drop this evaluator's own pool-level buffers (the delta hub packet,
+        # migration payloads, and the per-device scratch slices — all named
+        # with this evaluator's id, so the context's owner-based free covers
+        # them; the scratch buffers are reallocated on demand).
+        for context in self.pool.contexts:
+            context.free_evaluator_buffers(self)
         self._replica_ranges = None
+        self._persistent = False
+        self._resident_tenure = None
 
     def close(self) -> None:
         """Release every sub-evaluator's persistent device buffers."""
@@ -1267,4 +1660,3 @@ class MultiGPUEvaluator(NeighborhoodEvaluator):
         for evaluator in self._sub_evaluators:
             evaluator.close()
             evaluator.context.free_evaluator_buffers(self)
-        self._device_upload_shapes = {}

@@ -22,6 +22,7 @@ from .dtypes import (
     DELTA_PAIR_BYTES,
     FITNESS_BYTES,
     FITNESS_DTYPE,
+    PEER_PACKET_HEADER_BYTES,
     REDUCED_INDEX_DTYPE,
     REDUCED_RESULT_BYTES,
     SOLUTION_DTYPE,
@@ -40,16 +41,32 @@ from .kernel import (
     ThreadContext,
     normalize_work,
 )
-from .memory import DeviceBuffer, MemoryManager, MemorySpace, OutOfDeviceMemory, TransferRecord
-from .multi_device import MultiGPU, Partition, partition_range
+from .memory import (
+    DeviceBuffer,
+    HostMemoryKind,
+    MemoryManager,
+    MemorySpace,
+    OutOfDeviceMemory,
+    PinnedStagingPool,
+    TransferRecord,
+)
+from .multi_device import (
+    MultiGPU,
+    Partition,
+    partition_range,
+    throughput_weights,
+    weighted_partition_range,
+)
 from .occupancy import OccupancyResult, occupancy
 from .profiler import KernelProfile, ProfileReport, format_profile, profile, timeline_report
 from .runtime import DeviceLoop, DeviceStats, GPUContext, PersistentLaunchRecord
+from .scheduler import HOST_TIMELINE_STREAM, DeviceScheduler, merge_timelines
 from .streams import (
     COMPUTE_STREAM,
     COPY_STREAM,
     DEFAULT_STREAM,
     DOWNLOAD_STREAM,
+    P2P_STREAM,
     Event,
     Stream,
     StreamInterval,
@@ -79,8 +96,10 @@ __all__ = [
     "ThreadContext",
     "normalize_work",
     "MemorySpace",
+    "HostMemoryKind",
     "DeviceBuffer",
     "MemoryManager",
+    "PinnedStagingPool",
     "TransferRecord",
     "OutOfDeviceMemory",
     "occupancy",
@@ -99,6 +118,10 @@ __all__ = [
     "COPY_STREAM",
     "COMPUTE_STREAM",
     "DOWNLOAD_STREAM",
+    "P2P_STREAM",
+    "DeviceScheduler",
+    "HOST_TIMELINE_STREAM",
+    "merge_timelines",
     "FITNESS_DTYPE",
     "SOLUTION_DTYPE",
     "DELTA_DTYPE",
@@ -122,4 +145,7 @@ __all__ = [
     "MultiGPU",
     "Partition",
     "partition_range",
+    "weighted_partition_range",
+    "throughput_weights",
+    "PEER_PACKET_HEADER_BYTES",
 ]

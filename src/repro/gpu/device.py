@@ -63,10 +63,28 @@ class DeviceSpec:
     mem_latency_cycles: float = 500.0
     #: Fixed host-side cost of a kernel launch + synchronisation, in seconds.
     kernel_launch_overhead: float = 6.0e-5
-    #: Host <-> device transfer bandwidth (PCIe), bytes/s.
+    #: Host <-> device transfer bandwidth (PCIe) from *pageable* host memory,
+    #: bytes/s.  A pageable copy is staged through a driver-side bounce
+    #: buffer (an extra host memcpy), so its sustained rate sits well below
+    #: the link peak.
     pcie_bandwidth: float = 5.0e9
-    #: Host <-> device transfer latency per operation, seconds.
+    #: Host <-> device transfer latency per operation from pageable memory,
+    #: seconds.
     pcie_latency: float = 2.0e-5
+    #: Host <-> device transfer bandwidth from *pinned* (page-locked) host
+    #: memory, bytes/s.  Pinned pages are DMA-able directly, skipping the
+    #: bounce-buffer copy (``cudaMallocHost`` / ``cudaHostAlloc``).
+    pcie_pinned_bandwidth: float = 6.4e9
+    #: Per-operation latency of a pinned transfer, seconds (no page pinning
+    #: or staging work on the host side).
+    pcie_pinned_latency: float = 8.0e-6
+    #: Whether the device supports direct peer-to-peer copies with another
+    #: capable device on the same PCIe root (``cudaMemcpyPeerAsync``).
+    p2p_capable: bool = True
+    #: Sustained device <-> device bandwidth over the PCIe peer link, bytes/s.
+    p2p_bandwidth: float = 6.0e9
+    #: Per-operation latency of a peer-to-peer copy, seconds.
+    p2p_latency: float = 1.2e-5
     #: Fraction of the theoretical arithmetic peak that integer-heavy,
     #: branchy metaheuristic kernels sustain.  The GT200's 933-GFLOP peak
     #: assumes dual-issued single-precision MAD+MUL; the neighborhood
@@ -168,6 +186,10 @@ GTX_8800 = DeviceSpec(
     registers_per_mp=8192,
     mem_bandwidth=86.4e9,
     memory_efficiency=0.20,
+    # The G80 generation predates direct peer access; deltas destined for an
+    # 8800 GTX in a mixed pool must take the host round trip.
+    p2p_capable=False,
+    pcie_pinned_bandwidth=5.6e9,
 )
 
 #: Compute-oriented sibling of the GTX 280.

@@ -24,6 +24,7 @@ __all__ = [
     "REDUCED_RESULT_BYTES",
     "TABU_STAMP_BYTES",
     "STOP_FLAG_BYTES",
+    "PEER_PACKET_HEADER_BYTES",
     "TABU_NEVER",
 ]
 
@@ -75,6 +76,12 @@ TABU_STAMP_BYTES = TABU_STAMP_DTYPE.itemsize
 #: Bytes per replica of the host's early-stop flag write into the persistent
 #: kernel's control block (one byte per replica slot, each iteration).
 STOP_FLAG_BYTES = 1
+
+#: Fixed header of one peer-routed packet (destination replica range and
+#: pair count, as two int64 words): the hub device prepends it to every
+#: delta slice it forwards over a P2P link so the receiving device can
+#: scatter without any host involvement.
+PEER_PACKET_HEADER_BYTES = 16
 
 #: Sentinel stamp for "move never applied" in the tabu memory (shared by the
 #: host-side and device-resident encodings so trajectories stay identical).

@@ -15,7 +15,15 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-__all__ = ["MemorySpace", "DeviceBuffer", "TransferRecord", "MemoryManager", "OutOfDeviceMemory"]
+__all__ = [
+    "MemorySpace",
+    "HostMemoryKind",
+    "DeviceBuffer",
+    "TransferRecord",
+    "MemoryManager",
+    "PinnedStagingPool",
+    "OutOfDeviceMemory",
+]
 
 
 class MemorySpace(enum.Enum):
@@ -25,6 +33,22 @@ class MemorySpace(enum.Enum):
     SHARED = "shared"
     CONSTANT = "constant"
     TEXTURE = "texture"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+class HostMemoryKind(enum.Enum):
+    """Which kind of host memory a PCIe transfer reads from / writes to.
+
+    Pageable memory goes through a driver-side bounce buffer (an extra host
+    memcpy per transfer); pinned (page-locked) memory is DMA-able directly.
+    The timing model prices the two differently, which is why the transfer
+    log records the kind of every copy.
+    """
+
+    PAGEABLE = "pageable"
+    PINNED = "pinned"
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return self.value
@@ -66,6 +90,47 @@ class TransferRecord:
     direction: str  # "h2d" or "d2h"
     nbytes: int
     buffer: str
+    #: Host memory kind the copy was staged from/to (pageable unless the
+    #: caller routed it through a pinned staging buffer).
+    host_kind: HostMemoryKind = HostMemoryKind.PAGEABLE
+
+
+@dataclass
+class PinnedStagingPool:
+    """A reusable pool of pinned (page-locked) host staging buffers.
+
+    Real pipelines allocate a small set of ``cudaHostAlloc`` buffers once and
+    recycle them for the per-iteration delta/result packets — pinning pages
+    on every transfer would cost more than the bandwidth win.  The simulator
+    models the pool as counters: how many packets were staged, how many bytes
+    went through the pool and the high-water pinned footprint (allocations
+    are rounded up to whole blocks, like a real suballocator).
+    """
+
+    #: Granularity of the pinned suballocator.
+    block_bytes: int = 4096
+    #: Number of packets staged through the pool so far.
+    stagings: int = 0
+    #: Total payload bytes routed through the pool.
+    staged_bytes: int = 0
+    #: High-water pinned allocation, in bytes (rounded up to whole blocks).
+    high_water_bytes: int = 0
+
+    def stage(self, nbytes: int) -> int:
+        """Stage one packet of ``nbytes``; returns the pinned bytes reserved."""
+        if nbytes < 0:
+            raise ValueError(f"nbytes must be non-negative, got {nbytes}")
+        blocks = max(1, -(-int(nbytes) // self.block_bytes))
+        reserved = blocks * self.block_bytes
+        self.stagings += 1
+        self.staged_bytes += int(nbytes)
+        self.high_water_bytes = max(self.high_water_bytes, reserved)
+        return reserved
+
+    def reset(self) -> None:
+        self.stagings = 0
+        self.staged_bytes = 0
+        self.high_water_bytes = 0
 
 
 @dataclass
@@ -122,6 +187,7 @@ class MemoryManager:
         name: str,
         host_array: np.ndarray,
         space: MemorySpace = MemorySpace.GLOBAL,
+        host_kind: HostMemoryKind = HostMemoryKind.PAGEABLE,
     ) -> DeviceBuffer:
         """Allocate (if needed) and copy a host array to the device."""
         host_array = np.asarray(host_array)
@@ -131,23 +197,45 @@ class MemoryManager:
         else:
             buf = self.alloc(name, host_array.shape, host_array.dtype, space)
             buf.copy_from_host(host_array)
-        self.transfers.append(TransferRecord("h2d", int(host_array.nbytes), name))
+        self.transfers.append(
+            TransferRecord("h2d", int(host_array.nbytes), name, host_kind)
+        )
         return buf
 
-    def to_host(self, name: str) -> np.ndarray:
+    def to_host(
+        self, name: str, host_kind: HostMemoryKind = HostMemoryKind.PAGEABLE
+    ) -> np.ndarray:
         """Copy a device buffer back to the host."""
         buf = self.get(name)
-        self.transfers.append(TransferRecord("d2h", buf.nbytes, name))
+        self.transfers.append(TransferRecord("d2h", buf.nbytes, name, host_kind))
         return buf.to_host()
 
     # ------------------------------------------------------------------
     # Statistics
     # ------------------------------------------------------------------
-    def bytes_transferred(self, direction: str | None = None) -> int:
-        return sum(t.nbytes for t in self.transfers if direction is None or t.direction == direction)
+    def bytes_transferred(
+        self,
+        direction: str | None = None,
+        host_kind: HostMemoryKind | None = None,
+    ) -> int:
+        return sum(
+            t.nbytes
+            for t in self.transfers
+            if (direction is None or t.direction == direction)
+            and (host_kind is None or t.host_kind is host_kind)
+        )
 
-    def transfer_count(self, direction: str | None = None) -> int:
-        return sum(1 for t in self.transfers if direction is None or t.direction == direction)
+    def transfer_count(
+        self,
+        direction: str | None = None,
+        host_kind: HostMemoryKind | None = None,
+    ) -> int:
+        return sum(
+            1
+            for t in self.transfers
+            if (direction is None or t.direction == direction)
+            and (host_kind is None or t.host_kind is host_kind)
+        )
 
     def reset_statistics(self) -> None:
         self.transfers.clear()

@@ -4,20 +4,30 @@ The paper's "Discussion and conclusion" section sketches the multi-GPU
 perspective: *"It will consist of partitioning the neighborhood set, where
 each partition is executed on a single GPU."*  This module implements that
 partitioning over simulated devices.  Each device evaluates a contiguous
-slice of the flat neighborhood index space; the host gathers the partial
-fitness arrays and the simulated time of the step is the maximum over
-devices (they run concurrently) plus the extra host-side gather.
+slice of the flat neighborhood index space; a homogeneous pool splits the
+space evenly, while a heterogeneous pool (say, a GTX 280 next to an 8800
+GTX) receives partitions proportional to each device's simulated throughput
+on the kernel at hand, so that the slowest device stops being the
+bottleneck of every step.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
 
 from .device import DeviceSpec, GTX_280
 from .kernel import ExecutionMode
 from .runtime import GPUContext
+from .timing import KernelCostProfile
 
-__all__ = ["Partition", "partition_range", "MultiGPU"]
+__all__ = [
+    "Partition",
+    "partition_range",
+    "weighted_partition_range",
+    "throughput_weights",
+    "MultiGPU",
+]
 
 
 @dataclass(frozen=True)
@@ -38,7 +48,8 @@ def partition_range(total: int, parts: int) -> list[Partition]:
 
     The first ``total % parts`` partitions receive one extra element, so the
     sizes differ by at most one — the natural static balancing when every
-    neighbor costs the same (as is the case for a fixed Hamming distance).
+    neighbor costs the same (as is the case for a fixed Hamming distance)
+    and every device runs at the same speed.
     """
     if total < 0:
         raise ValueError(f"total must be non-negative, got {total}")
@@ -54,6 +65,65 @@ def partition_range(total: int, parts: int) -> list[Partition]:
     return partitions
 
 
+def weighted_partition_range(total: int, weights: Sequence[float]) -> list[Partition]:
+    """Split ``range(total)`` proportionally to ``weights`` (contiguous slices).
+
+    Sizes are apportioned by the largest-remainder method, so they sum to
+    ``total`` exactly and each differs from the ideal fractional share by
+    less than one element.  Equal weights reduce to :func:`partition_range`
+    bit-for-bit (ties are broken toward lower device indices), making the
+    even split the homogeneous special case rather than a separate code
+    path.
+    """
+    if total < 0:
+        raise ValueError(f"total must be non-negative, got {total}")
+    weights = [float(w) for w in weights]
+    if not weights:
+        raise ValueError("need at least one weight")
+    if any(w < 0 for w in weights):
+        raise ValueError(f"weights must be non-negative, got {weights}")
+    total_weight = sum(weights)
+    if total_weight <= 0:
+        raise ValueError("at least one weight must be positive")
+    shares = [total * w / total_weight for w in weights]
+    sizes = [int(share) for share in shares]
+    remainder = total - sum(sizes)
+    # Hand the leftover elements to the parts with the largest fractional
+    # share; ties go to the lower index (matching partition_range's layout).
+    order = sorted(
+        range(len(weights)), key=lambda i: (-(shares[i] - sizes[i]), i)
+    )
+    for i in order[:remainder]:
+        sizes[i] += 1
+    partitions = []
+    start = 0
+    for i, size in enumerate(sizes):
+        partitions.append(Partition(device_index=i, start=start, stop=start + size))
+        start += size
+    return partitions
+
+
+def throughput_weights(
+    devices: Sequence[DeviceSpec], cost: KernelCostProfile | None = None
+) -> list[float]:
+    """Relative per-thread throughput of each device on a given kernel cost.
+
+    The weight is the reciprocal of the roofline time one thread's work
+    takes at full occupancy — ``max(flops / sustained_flops, bytes /
+    sustained_bandwidth)`` — so a pool of identical devices gets identical
+    weights (and thus the even split), while a mixed pool is apportioned by
+    how fast each card actually chews through the kernel at hand.  Without a
+    cost profile a balanced 1-flop/1-byte reference workload is assumed.
+    """
+    flops = cost.flops if cost is not None else 1.0
+    gmem = cost.gmem_bytes + cost.texture_bytes if cost is not None else 1.0
+    weights = []
+    for spec in devices:
+        seconds = max(flops / spec.sustained_flops, gmem / spec.sustained_bandwidth)
+        weights.append(1.0 / seconds if seconds > 0 else 1.0)
+    return weights
+
+
 class MultiGPU:
     """A pool of simulated devices exploring one neighborhood cooperatively."""
 
@@ -62,6 +132,7 @@ class MultiGPU:
         devices: list[DeviceSpec] | int = 2,
         *,
         mode: ExecutionMode = ExecutionMode.VECTORIZED,
+        pinned: bool = False,
     ) -> None:
         if isinstance(devices, int):
             if devices <= 0:
@@ -69,14 +140,34 @@ class MultiGPU:
             devices = [GTX_280] * devices
         if not devices:
             raise ValueError("need at least one device")
-        self.contexts = [GPUContext(spec, mode=mode) for spec in devices]
+        self.contexts = [GPUContext(spec, mode=mode, pinned=pinned) for spec in devices]
 
     @property
     def num_devices(self) -> int:
         return len(self.contexts)
 
-    def partitions(self, total_threads: int) -> list[Partition]:
-        return partition_range(total_threads, self.num_devices)
+    @property
+    def is_homogeneous(self) -> bool:
+        """Whether every device in the pool is the same preset."""
+        first = self.contexts[0].device
+        return all(ctx.device == first for ctx in self.contexts)
+
+    def throughput_weights(self, cost: KernelCostProfile | None = None) -> list[float]:
+        """Per-device weights for throughput-proportional partitioning."""
+        return throughput_weights([ctx.device for ctx in self.contexts], cost)
+
+    def partitions(
+        self, total_threads: int, cost: KernelCostProfile | None = None
+    ) -> list[Partition]:
+        """Partition the flat index space across the pool.
+
+        A homogeneous pool takes the exact even split; a heterogeneous pool
+        splits proportionally to each device's simulated throughput on the
+        kernel described by ``cost``.
+        """
+        if self.is_homogeneous:
+            return partition_range(total_threads, self.num_devices)
+        return weighted_partition_range(total_threads, self.throughput_weights(cost))
 
     # ------------------------------------------------------------------
     @property

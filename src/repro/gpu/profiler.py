@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from .runtime import DeviceStats, GPUContext
+from .scheduler import DeviceScheduler, merge_timelines
 from .streams import Timeline, format_timeline
 
 __all__ = [
@@ -145,16 +146,27 @@ def format_profile(report: ProfileReport) -> str:
 
 
 def timeline_report(
-    context_or_timeline: GPUContext | Timeline, *, limit: int | None = 40
+    source: GPUContext | Timeline | DeviceScheduler | list[GPUContext],
+    *,
+    limit: int | None = 40,
 ) -> str:
-    """Per-stream interval view of a context's recorded activity.
+    """Per-stream interval view of recorded device activity.
 
     Complements the per-kernel summary of :func:`format_profile` with the
     *when* of each operation: which stream it ran on, what it waited for and
-    how much transfer time hid under concurrent kernel execution.
+    how much transfer time hid under concurrent kernel execution.  Passing a
+    :class:`~repro.gpu.scheduler.DeviceScheduler` (or a list of contexts)
+    merges every device's streams — plus the host timeline — into one
+    cross-device view whose makespan is the pool-level elapsed time.
     """
-    if isinstance(context_or_timeline, GPUContext):
-        timeline = context_or_timeline.timeline
+    if isinstance(source, DeviceScheduler):
+        timeline = source.merged_timeline()
+    elif isinstance(source, GPUContext):
+        timeline = source.timeline
+    elif isinstance(source, Timeline):
+        timeline = source
     else:
-        timeline = context_or_timeline
+        timeline = merge_timelines(
+            {f"gpu{i}": ctx.timeline for i, ctx in enumerate(source)}
+        )
     return format_timeline(timeline, limit=limit)

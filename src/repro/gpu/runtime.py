@@ -31,11 +31,12 @@ import numpy as np
 from .device import DeviceSpec, GTX_280
 from .hierarchy import DEFAULT_BLOCK_SIZE, LaunchConfig
 from .kernel import ExecutionMode, Kernel, KernelLaunch, PersistentKernel, normalize_work
-from .memory import MemoryManager, MemorySpace
+from .memory import HostMemoryKind, MemoryManager, MemorySpace, PinnedStagingPool
 from .streams import (
     COMPUTE_STREAM,
     COPY_STREAM,
     DOWNLOAD_STREAM,
+    P2P_STREAM,
     Event,
     Timeline,
 )
@@ -53,6 +54,11 @@ class DeviceStats:
     transfer_time: float = 0.0
     h2d_bytes: int = 0
     d2h_bytes: int = 0
+    #: Device->device traffic sent over peer links (never counted in the
+    #: host-facing ``h2d_bytes``/``d2h_bytes`` — no host round trip happens).
+    p2p_bytes: int = 0
+    peer_transfers: int = 0
+    p2p_time: float = 0.0
     #: Fused on-device reductions (argmin epilogues of the resident pipeline).
     reductions: int = 0
     reduction_time: float = 0.0
@@ -66,7 +72,7 @@ class DeviceStats:
         streams the elapsed time is the context timeline's makespan, which
         can be smaller.
         """
-        return self.kernel_time + self.reduction_time + self.transfer_time
+        return self.kernel_time + self.reduction_time + self.transfer_time + self.p2p_time
 
     def reset(self) -> None:
         self.kernel_launches = 0
@@ -74,6 +80,9 @@ class DeviceStats:
         self.transfer_time = 0.0
         self.h2d_bytes = 0
         self.d2h_bytes = 0
+        self.p2p_bytes = 0
+        self.peer_transfers = 0
+        self.p2p_time = 0.0
         self.reductions = 0
         self.reduction_time = 0.0
         self.launch_records.clear()
@@ -204,7 +213,7 @@ class DeviceLoop:
     def drain_ring(self, nbytes: int) -> float:
         """Account the host draining ``nbytes`` of the per-iteration result ring."""
         self._check_open()
-        duration = self.context.timing.transfer_time(nbytes)
+        duration = self.context.timing.transfer_time(nbytes, self.context._host_kind(None))
         self._ring_time += duration
         self._ring_bytes += int(nbytes)
         self.context.stats.transfer_time += duration
@@ -214,7 +223,7 @@ class DeviceLoop:
     def write_control(self, nbytes: int) -> float:
         """Account the host writing ``nbytes`` of early-stop/control flags."""
         self._check_open()
-        duration = self.context.timing.transfer_time(nbytes)
+        duration = self.context.timing.transfer_time(nbytes, self.context._host_kind(None))
         self._control_time += duration
         self._control_bytes += int(nbytes)
         self.context.stats.transfer_time += duration
@@ -277,6 +286,11 @@ class GPUContext:
     keep_launch_records:
         Store a :class:`~repro.gpu.kernel.KernelLaunch` record per launch
         (disable for very long runs to bound memory).
+    pinned:
+        Stage host<->device transfers through pinned (page-locked) host
+        memory: copies are priced with the device's pinned PCIe terms and
+        packet stagings are accounted in :attr:`staging_pool`.  The default
+        (pageable) keeps the seed model's single latency + bandwidth term.
     """
 
     def __init__(
@@ -285,6 +299,7 @@ class GPUContext:
         *,
         mode: ExecutionMode = ExecutionMode.VECTORIZED,
         keep_launch_records: bool = False,
+        pinned: bool = False,
     ) -> None:
         self.device = device
         self.mode = mode
@@ -293,29 +308,48 @@ class GPUContext:
         self.stats = DeviceStats()
         self.timeline = Timeline()
         self.keep_launch_records = keep_launch_records
+        self.pinned = bool(pinned)
+        #: Pinned staging buffers for the per-iteration delta/result packets
+        #: (allocated once, recycled; ``None`` on pageable contexts).
+        self.staging_pool: PinnedStagingPool | None = (
+            PinnedStagingPool() if pinned else None
+        )
+
+    def _host_kind(self, kind: HostMemoryKind | None) -> HostMemoryKind:
+        """Resolve a transfer's host-memory kind (default: the context's)."""
+        if kind is not None:
+            return kind
+        return HostMemoryKind.PINNED if self.pinned else HostMemoryKind.PAGEABLE
 
     # ------------------------------------------------------------------
     # Memory operations (timed)
     # ------------------------------------------------------------------
     def to_device(
-        self, name: str, host_array: np.ndarray, space: MemorySpace = MemorySpace.GLOBAL
+        self,
+        name: str,
+        host_array: np.ndarray,
+        space: MemorySpace = MemorySpace.GLOBAL,
+        *,
+        host_kind: HostMemoryKind | None = None,
     ):
         """Copy ``host_array`` into device buffer ``name`` (allocating it if new).
 
         Synchronous (null-stream) semantics: the copy starts only after every
         outstanding operation on every stream has completed.
         """
-        buf = self.memory.to_device(name, host_array, space)
-        duration = self.timing.transfer_time(buf.nbytes)
+        kind = self._host_kind(host_kind)
+        buf = self.memory.to_device(name, host_array, space, host_kind=kind)
+        duration = self.timing.transfer_time(buf.nbytes, kind)
         self.stats.transfer_time += duration
         self.stats.h2d_bytes += buf.nbytes
         self.timeline.schedule_sync("h2d", name, duration)
         return buf
 
-    def to_host(self, name: str) -> np.ndarray:
+    def to_host(self, name: str, *, host_kind: HostMemoryKind | None = None) -> np.ndarray:
         """Copy device buffer ``name`` back to the host (null-stream semantics)."""
-        out = self.memory.to_host(name)
-        duration = self.timing.transfer_time(out.nbytes)
+        kind = self._host_kind(host_kind)
+        out = self.memory.to_host(name, host_kind=kind)
+        duration = self.timing.transfer_time(out.nbytes, kind)
         self.stats.transfer_time += duration
         self.stats.d2h_bytes += out.nbytes
         self.timeline.schedule_sync("d2h", name, duration)
@@ -424,12 +458,15 @@ class GPUContext:
         wait_for: Event | list[Event] | None = None,
         not_before: float = 0.0,
         space: MemorySpace = MemorySpace.GLOBAL,
+        host_kind: HostMemoryKind | None = None,
     ) -> Event:
         """Host -> device copy issued on ``stream``; returns its completion event.
 
         Unlike :meth:`to_device` the buffer is transparently reallocated when
         the staged array's geometry changes (delta packets shrink and grow
-        with the number of still-active replicas).
+        with the number of still-active replicas).  On a pinned context the
+        packet is staged through :attr:`staging_pool` and priced with the
+        pinned PCIe terms.
         """
         host_array = np.asarray(host_array)
         existing = self.memory.allocations.get(name)
@@ -437,8 +474,11 @@ class GPUContext:
             existing.data.shape != host_array.shape or existing.data.dtype != host_array.dtype
         ):
             self.memory.free(name)
-        buf = self.memory.to_device(name, host_array, space)
-        duration = self.timing.transfer_time(buf.nbytes)
+        kind = self._host_kind(host_kind)
+        if kind is HostMemoryKind.PINNED and self.staging_pool is not None:
+            self.staging_pool.stage(int(host_array.nbytes))
+        buf = self.memory.to_device(name, host_array, space, host_kind=kind)
+        duration = self.timing.transfer_time(buf.nbytes, kind)
         self.stats.transfer_time += duration
         self.stats.h2d_bytes += buf.nbytes
         interval = self.timeline.schedule(
@@ -453,16 +493,83 @@ class GPUContext:
         stream: str = DOWNLOAD_STREAM,
         wait_for: Event | list[Event] | None = None,
         not_before: float = 0.0,
+        host_kind: HostMemoryKind | None = None,
     ) -> tuple[np.ndarray, Event]:
         """Device -> host copy issued on ``stream``; returns (data, event)."""
-        out = self.memory.to_host(name)
-        duration = self.timing.transfer_time(out.nbytes)
+        kind = self._host_kind(host_kind)
+        out = self.memory.to_host(name, host_kind=kind)
+        if kind is HostMemoryKind.PINNED and self.staging_pool is not None:
+            self.staging_pool.stage(int(out.nbytes))
+        duration = self.timing.transfer_time(out.nbytes, kind)
         self.stats.transfer_time += duration
         self.stats.d2h_bytes += out.nbytes
         interval = self.timeline.schedule(
             "d2h", name, duration, stream=stream, wait_for=wait_for, not_before=not_before
         )
         return out, Event(stream=stream, time=interval.end)
+
+    # ------------------------------------------------------------------
+    # Peer-to-peer (device -> device) operations
+    # ------------------------------------------------------------------
+    def can_access_peer(self, peer: "GPUContext") -> bool:
+        """Whether a direct peer copy to ``peer`` is possible (both capable)."""
+        return self.device.p2p_capable and peer.device.p2p_capable
+
+    def copy_peer_async(
+        self,
+        peer: "GPUContext",
+        name: str,
+        data: np.ndarray,
+        *,
+        wait_for: Event | list[Event] | None = None,
+        not_before: float = 0.0,
+        space: MemorySpace = MemorySpace.GLOBAL,
+    ) -> Event:
+        """Device -> device copy into ``peer``'s buffer ``name`` over the P2P link.
+
+        The copy occupies the :data:`~repro.gpu.streams.P2P_STREAM` of *both*
+        endpoints for its duration (the link is shared), starts once both
+        streams are free and every ``wait_for`` event has fired, and returns
+        the arrival event on the peer's stream.  The traffic is accounted in
+        the source's ``p2p_bytes`` — never in the host-facing h2d/d2h
+        counters, because no host round trip takes place.
+        """
+        if not self.can_access_peer(peer):
+            incapable = self.device if not self.device.p2p_capable else peer.device
+            raise RuntimeError(
+                f"peer access between {self.device.name!r} and {peer.device.name!r} "
+                f"is unavailable ({incapable.name!r} is not p2p-capable); "
+                "route the packet through the host instead"
+            )
+        data = np.asarray(data)
+        existing = peer.memory.allocations.get(name)
+        if existing is not None and (
+            existing.data.shape != data.shape or existing.data.dtype != data.dtype
+        ):
+            peer.memory.free(name)
+        if name not in peer.memory.allocations:
+            peer.memory.alloc(name, data.shape, data.dtype, space)
+        peer.memory.get(name).copy_from_host(data)
+        duration = self.timing.peer_transfer_time(int(data.nbytes), peer.device)
+        self.stats.p2p_bytes += int(data.nbytes)
+        self.stats.peer_transfers += 1
+        self.stats.p2p_time += duration
+        # Both endpoints' p2p engines are busy for the copy's duration; the
+        # shared start is the later of the two stream cursors (plus deps).
+        barrier = max(
+            self.timeline.stream(P2P_STREAM).cursor,
+            peer.timeline.stream(P2P_STREAM).cursor,
+            not_before,
+        )
+        self.timeline.schedule(
+            "p2p", f"{name}->peer", duration,
+            stream=P2P_STREAM, wait_for=wait_for, not_before=barrier,
+        )
+        interval = peer.timeline.schedule(
+            "p2p", name, duration,
+            stream=P2P_STREAM, wait_for=wait_for, not_before=barrier,
+        )
+        return Event(stream=P2P_STREAM, time=interval.end)
 
     def launch_async(
         self,
@@ -540,6 +647,8 @@ class GPUContext:
         self.stats.reset()
         self.memory.reset_statistics()
         self.timeline.reset()
+        if self.staging_pool is not None:
+            self.staging_pool.reset()
 
     def __repr__(self) -> str:  # pragma: no cover
         return f"GPUContext(device={self.device.name!r}, mode={self.mode.value})"

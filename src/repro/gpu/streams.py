@@ -29,6 +29,7 @@ __all__ = [
     "COPY_STREAM",
     "COMPUTE_STREAM",
     "DOWNLOAD_STREAM",
+    "P2P_STREAM",
     "format_timeline",
 ]
 
@@ -38,6 +39,9 @@ DEFAULT_STREAM = "default"
 COPY_STREAM = "h2d"
 COMPUTE_STREAM = "compute"
 DOWNLOAD_STREAM = "d2h"
+#: Stream carrying device->device peer copies (``cudaMemcpyPeerAsync``); the
+#: matching interval appears on *both* endpoints' timelines.
+P2P_STREAM = "p2p"
 
 
 @dataclass(frozen=True)

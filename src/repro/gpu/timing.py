@@ -30,6 +30,7 @@ from dataclasses import dataclass
 from .device import DeviceSpec, HostSpec
 from .dtypes import FITNESS_BYTES
 from .hierarchy import LaunchConfig
+from .memory import HostMemoryKind
 from .occupancy import OccupancyResult, occupancy
 
 __all__ = [
@@ -168,11 +169,44 @@ class GPUTimingModel:
             occupancy=occ,
         )
 
-    def transfer_time(self, nbytes: float) -> float:
-        """Host<->device copy time over PCIe."""
+    def transfer_time(
+        self, nbytes: float, kind: HostMemoryKind = HostMemoryKind.PAGEABLE
+    ) -> float:
+        """Host<->device copy time over PCIe, priced per host-memory kind.
+
+        Pageable copies pay the driver's bounce-buffer staging (the seed
+        model's single latency + bandwidth term); pinned copies DMA straight
+        out of page-locked memory — lower latency, higher sustained rate.
+        """
         if nbytes < 0:
             raise ValueError("nbytes must be non-negative")
+        if kind is HostMemoryKind.PINNED:
+            return (
+                self.device.pcie_pinned_latency
+                + nbytes / self.device.pcie_pinned_bandwidth
+            )
         return self.device.pcie_latency + nbytes / self.device.pcie_bandwidth
+
+    def peer_transfer_time(self, nbytes: float, peer: DeviceSpec | None = None) -> float:
+        """Device->device copy time over the PCIe peer link.
+
+        The effective rate is the slower endpoint's peer bandwidth and the
+        latency the larger endpoint latency; both devices must advertise
+        peer capability.
+        """
+        if nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+        if not self.device.p2p_capable or (peer is not None and not peer.p2p_capable):
+            incapable = self.device if not self.device.p2p_capable else peer
+            raise ValueError(
+                f"device {incapable.name!r} does not support peer-to-peer access"
+            )
+        bandwidth = self.device.p2p_bandwidth
+        latency = self.device.p2p_latency
+        if peer is not None:
+            bandwidth = min(bandwidth, peer.p2p_bandwidth)
+            latency = max(latency, peer.p2p_latency)
+        return latency + nbytes / bandwidth
 
     def reduction_time(self, num_elements: int) -> float:
         """Device-side parallel min/argmin reduction over ``num_elements`` values.

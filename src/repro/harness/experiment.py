@@ -44,31 +44,71 @@ TRIAL_MODES = ("serial", "parallel", "batched")
 
 #: Named evaluator factories.  Names (unlike arbitrary callables) can be
 #: shipped to worker processes and rebuilt there, which is what lets the
-#: parallel trial runner support every platform.
+#: parallel trial runner support every platform.  The GPU-backed factories
+#: accept the device-pool options (``devices``, ``pinned``).
 EVALUATOR_SPECS = {
     "cpu": lambda problem, neighborhood: CPUEvaluator(problem, neighborhood),
     "sequential": lambda problem, neighborhood: SequentialEvaluator(problem, neighborhood),
-    "gpu": lambda problem, neighborhood: GPUEvaluator(problem, neighborhood),
-    "multi-gpu": lambda problem, neighborhood: MultiGPUEvaluator(problem, neighborhood),
+    "gpu": lambda problem, neighborhood, pinned=False: GPUEvaluator(
+        problem, neighborhood, pinned=pinned
+    ),
+    "multi-gpu": lambda problem, neighborhood, devices=2, pinned=False: MultiGPUEvaluator(
+        problem, neighborhood, devices=devices, pinned=pinned
+    ),
+}
+
+#: Which pool options each named spec understands.
+_SPEC_OPTIONS = {
+    "cpu": (),
+    "sequential": (),
+    "gpu": ("pinned",),
+    "multi-gpu": ("devices", "pinned"),
 }
 
 
-def resolve_evaluator_factory(spec):
+def resolve_evaluator_factory(spec, *, devices: int | None = None, pinned: bool = False):
     """Turn an evaluator spec (name, callable or ``None``) into a factory.
 
     ``None`` selects the default vectorized CPU evaluator; a string is looked
-    up in :data:`EVALUATOR_SPECS`; a callable is returned unchanged.
+    up in :data:`EVALUATOR_SPECS`; a callable is returned unchanged.  The
+    ``devices``/``pinned`` pool options apply only to the GPU-backed named
+    specs — passing them with a CPU spec or a custom callable is an error
+    (silently ignoring them would misreport the experiment's configuration).
     """
+    options_requested = devices is not None or pinned
     if spec is None:
+        if options_requested:
+            raise ValueError(
+                "devices/pinned need a GPU-backed evaluator spec "
+                "(\"gpu\" or \"multi-gpu\")"
+            )
         return EVALUATOR_SPECS["cpu"]
     if isinstance(spec, str):
         try:
-            return EVALUATOR_SPECS[spec]
+            base = EVALUATOR_SPECS[spec]
         except KeyError:
             raise ValueError(
                 f"unknown evaluator spec {spec!r}; expected one of {sorted(EVALUATOR_SPECS)}"
             ) from None
+        supported = _SPEC_OPTIONS[spec]
+        if devices is not None and "devices" not in supported:
+            raise ValueError(f"evaluator spec {spec!r} does not take a device count")
+        if pinned and "pinned" not in supported:
+            raise ValueError(f"evaluator spec {spec!r} does not support pinned memory")
+        if not supported or not options_requested:
+            return base
+        options = {}
+        if devices is not None and "devices" in supported:
+            options["devices"] = devices
+        if "pinned" in supported:
+            options["pinned"] = pinned
+        return lambda problem, neighborhood: base(problem, neighborhood, **options)
     if callable(spec):
+        if options_requested:
+            raise ValueError(
+                "devices/pinned apply to named evaluator specs only; "
+                "bake them into the custom factory instead"
+            )
         return spec
     raise TypeError(f"evaluator spec must be a name, a callable or None, got {type(spec)}")
 
@@ -99,13 +139,28 @@ class ExperimentRow:
     transfer_mode: str = "full"
     h2d_bytes: int = 0
     d2h_bytes: int = 0
+    #: Device->device bytes routed over peer links (no host round trip);
+    #: disjoint from the h2d/d2h counters by construction.
+    p2p_bytes: int = 0
     #: Kernel launches issued over the whole run (summed across devices).
     #: The persistent mode collapses this to one launch per device per run.
     kernel_launches: int = 0
-    #: Overlap-aware elapsed simulated device time (stream-timeline makespan).
+    #: Overlap-aware elapsed simulated device time: the cross-device
+    #: stream-timeline makespan.
     sim_elapsed_s: float = 0.0
     #: Transfer time hidden under concurrent kernel execution.
     overlap_saved_s: float = 0.0
+    #: Devices in the pool the trials ran on (1 for single-GPU/CPU).
+    num_devices: int = 1
+    #: Whether host transfers were staged through pinned memory.
+    pinned: bool = False
+    #: Total host<->device transfer time summed over the pool.
+    transfer_time_s: float = 0.0
+    #: What the recorded device work would cost serialized one device after
+    #: another (sum of per-device stream busy times).
+    serialized_device_s: float = 0.0
+    #: Per-device overlap-aware elapsed times (timeline makespans).
+    device_elapsed_s: list[float] = field(default_factory=list)
 
     # ------------------------------------------------------------------
     @property
@@ -147,6 +202,11 @@ class ExperimentRow:
         """CPU / GPU acceleration factor (paper's "Acceleration" column)."""
         return self.cpu_time / self.gpu_time if self.gpu_time else float("inf")
 
+    @property
+    def cross_device_overlap_s(self) -> float:
+        """Simulated time saved by running the devices concurrently."""
+        return max(0.0, self.serialized_device_s - self.sim_elapsed_s)
+
     def as_dict(self) -> dict:
         """Plain-dictionary view (used by the reporting code and the benches)."""
         return {
@@ -163,9 +223,16 @@ class ExperimentRow:
             "transfer_mode": self.transfer_mode,
             "h2d_bytes": self.h2d_bytes,
             "d2h_bytes": self.d2h_bytes,
+            "p2p_bytes": self.p2p_bytes,
             "kernel_launches": self.kernel_launches,
             "sim_elapsed_s": self.sim_elapsed_s,
             "overlap_saved_s": self.overlap_saved_s,
+            "num_devices": self.num_devices,
+            "pinned": self.pinned,
+            "transfer_time_s": self.transfer_time_s,
+            "serialized_device_s": self.serialized_device_s,
+            "cross_device_overlap_s": self.cross_device_overlap_s,
+            "device_elapsed_s": list(self.device_elapsed_s),
         }
 
 
@@ -180,10 +247,16 @@ def _collect_transfer_stats(evaluator, row: ExperimentRow) -> None:
         return
     row.h2d_bytes = sum(ctx.stats.h2d_bytes for ctx in contexts)
     row.d2h_bytes = sum(ctx.stats.d2h_bytes for ctx in contexts)
+    row.p2p_bytes = sum(ctx.stats.p2p_bytes for ctx in contexts)
     row.kernel_launches = sum(ctx.stats.kernel_launches for ctx in contexts)
     # Concurrent devices: the elapsed makespan is the slowest device's.
     row.sim_elapsed_s = max(ctx.timeline.elapsed for ctx in contexts)
     row.overlap_saved_s = sum(ctx.timeline.overlap_saved for ctx in contexts)
+    row.num_devices = len(contexts)
+    row.pinned = any(ctx.pinned for ctx in contexts)
+    row.transfer_time_s = sum(ctx.stats.transfer_time for ctx in contexts)
+    row.serialized_device_s = sum(ctx.timeline.busy_time for ctx in contexts)
+    row.device_elapsed_s = [ctx.timeline.elapsed for ctx in contexts]
 
 
 def _run_single_trial(
@@ -195,6 +268,8 @@ def _run_single_trial(
     trial: int,
     evaluator: str = "cpu",
     transfer_mode: str = "full",
+    devices: int | None = None,
+    pinned: bool = False,
 ) -> TrialRecord:
     """Worker executing one tabu-search trial (used by the parallel runner).
 
@@ -205,7 +280,7 @@ def _run_single_trial(
     m, n = spec
     problem = make_table_instance(PPPInstanceSpec(m, n), trial=0)
     neighborhood = KHammingNeighborhood(problem.n, order)
-    factory = resolve_evaluator_factory(evaluator)
+    factory = resolve_evaluator_factory(evaluator, devices=devices, pinned=pinned)
     search = TabuSearch(
         factory(problem, neighborhood),
         tenure=tenure,
@@ -235,6 +310,8 @@ def run_ppp_experiment(
     n_jobs: int = 1,
     trial_mode: str = "serial",
     transfer_mode: str = "full",
+    devices: int | None = None,
+    pinned: bool = False,
 ) -> ExperimentRow:
     """Run the paper's tabu-search protocol on one instance and one neighborhood.
 
@@ -285,6 +362,12 @@ def run_ppp_experiment(
         non-default modes need a device-backed evaluator (``"gpu"`` /
         ``"multi-gpu"``); per-trial records are bit-identical across all
         modes.
+    devices:
+        Device count of the ``"multi-gpu"`` pool (named specs only).
+    pinned:
+        Stage host transfers through pinned memory on the GPU-backed
+        evaluators (named specs only); the timing model then prices PCIe
+        copies with the devices' pinned latency/bandwidth terms.
     """
     if not isinstance(spec, PPPInstanceSpec):
         spec = PPPInstanceSpec(*spec)
@@ -314,6 +397,8 @@ def run_ppp_experiment(
                 f"unknown evaluator spec {evaluator_factory!r}; "
                 f"expected one of {sorted(EVALUATOR_SPECS)}"
             )
+        # Validate the pool options before shipping them to the workers.
+        resolve_evaluator_factory(evaluator_factory, devices=devices, pinned=pinned)
 
     problem = make_table_instance(spec, trial=0)
     neighborhood = KHammingNeighborhood(problem.n, order)
@@ -326,6 +411,13 @@ def run_ppp_experiment(
         gpu_time_per_iteration=per_iteration.gpu_time,
         transfer_mode=transfer_mode,
     )
+    # Record the pool configuration up front so the parallel path (whose
+    # evaluators live in the workers) still reports it; the serial/batched
+    # paths overwrite these with the actual per-context accounting below.
+    if isinstance(evaluator_factory, str) and evaluator_factory in ("gpu", "multi-gpu"):
+        row.pinned = pinned
+        if evaluator_factory == "multi-gpu":
+            row.num_devices = devices if devices is not None else 2
 
     seeds = [
         instance_seed(spec.m, spec.n, trial) if base_seed is None else base_seed + trial
@@ -338,14 +430,14 @@ def run_ppp_experiment(
             futures = [
                 pool.submit(
                     _run_single_trial, (spec.m, spec.n), order, max_iterations, tenure,
-                    seeds[trial], trial, evaluator_name, transfer_mode,
+                    seeds[trial], trial, evaluator_name, transfer_mode, devices, pinned,
                 )
                 for trial in range(trials)
             ]
             row.trials.extend(future.result() for future in futures)
         return row
 
-    factory = resolve_evaluator_factory(evaluator_factory)
+    factory = resolve_evaluator_factory(evaluator_factory, devices=devices, pinned=pinned)
     evaluator: NeighborhoodEvaluator = factory(problem, neighborhood)
 
     if trial_mode == "batched":

@@ -60,16 +60,22 @@ def format_experiment_table(
     title: str | None = None,
     include_acceleration: bool = True,
     include_transfers: bool | None = None,
+    include_devices: bool | None = None,
 ) -> str:
     """Format one reproduced table in the paper's column layout.
 
     ``include_transfers`` appends the device-pipeline columns (transfer
-    mode, PCIe traffic, stream-overlap savings); by default they appear
-    automatically when any row carries transfer accounting (i.e. the trials
-    ran on a simulated device).
+    mode, PCIe traffic, pinned staging, stream-overlap savings);
+    ``include_devices`` appends the multi-GPU scheduler columns (pool size,
+    peer-routed traffic, cross-device overlap).  Both default to appearing
+    automatically when any row carries the corresponding accounting.
     """
     if include_transfers is None:
         include_transfers = any(row.h2d_bytes or row.d2h_bytes for row in rows)
+    if include_devices is None:
+        include_devices = any(
+            row.num_devices > 1 or row.p2p_bytes for row in rows
+        )
     headers = [
         "Problem",
         "Fitness",
@@ -81,7 +87,9 @@ def format_experiment_table(
     if include_acceleration:
         headers.append("Acceleration")
     if include_transfers:
-        headers.extend(["Mode", "H2D", "D2H", "Launches", "Overlap saved"])
+        headers.extend(["Mode", "Pinned", "H2D", "D2H", "Launches", "Overlap saved"])
+    if include_devices:
+        headers.extend(["Devices", "P2P", "Device overlap"])
     body = []
     for row in rows:
         cells = [
@@ -97,10 +105,17 @@ def format_experiment_table(
         if include_transfers:
             cells.extend([
                 row.transfer_mode,
+                "yes" if row.pinned else "no",
                 format_bytes(row.h2d_bytes),
                 format_bytes(row.d2h_bytes),
                 str(row.kernel_launches),
                 format_time(row.overlap_saved_s),
+            ])
+        if include_devices:
+            cells.extend([
+                str(row.num_devices),
+                format_bytes(row.p2p_bytes),
+                format_time(row.cross_device_overlap_s),
             ])
         body.append(cells)
     table = render_markdown_table(headers, body)

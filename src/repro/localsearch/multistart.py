@@ -122,6 +122,16 @@ class MultiStartRunner:
         and writes ``O(S)`` early-stop flags, and the launch overhead is
         paid once).  All need a device-resident evaluator and follow
         bit-identical trajectories to ``"full"``.
+    rebalance_every:
+        Every this many lockstep iterations, ask a multi-device resident
+        evaluator to migrate replicas between devices so the *still-active*
+        replicas stay split proportionally to device throughput (replicas
+        that stopped early otherwise leave their device underloaded while
+        others stay full).  Purely a placement/timing optimization over the
+        peer links — trajectories are bit-identical with or without it.
+        Ignored for evaluators without a ``rebalance_resident`` method, in
+        ``"full"`` mode (nothing is resident) and in ``"persistent"`` mode
+        (the launches are pinned to their devices for the whole run).
     """
 
     ALGORITHMS = ("tabu", "hill-climbing", "first-improvement")
@@ -137,10 +147,15 @@ class MultiStartRunner:
         target_fitness: float = 0.0,
         track_history: bool = False,
         transfer_mode: str = "full",
+        rebalance_every: int | None = None,
     ) -> None:
         if algorithm not in self.ALGORITHMS:
             raise ValueError(
                 f"unknown algorithm {algorithm!r}; expected one of {self.ALGORITHMS}"
+            )
+        if rebalance_every is not None and rebalance_every <= 0:
+            raise ValueError(
+                f"rebalance_every must be positive, got {rebalance_every}"
             )
         self.transfer_mode = check_transfer_mode(transfer_mode, evaluator)
         self.evaluator = evaluator
@@ -161,6 +176,7 @@ class MultiStartRunner:
         self.aspiration = bool(aspiration)
         self.target_fitness = float(target_fitness)
         self.track_history = bool(track_history)
+        self.rebalance_every = rebalance_every
 
     # ------------------------------------------------------------------
     def _initial_block(
@@ -367,6 +383,14 @@ class MultiStartRunner:
             if device_tabu:
                 self.evaluator.init_tabu_memory(self.tenure)
 
+        rebalance = (
+            self.rebalance_every
+            if resident
+            and self.transfer_mode != "persistent"
+            and hasattr(self.evaluator, "rebalance_resident")
+            else None
+        )
+
         lockstep = 0
         while True:
             # Per-replica stopping checks, in the scalar loop's order:
@@ -377,6 +401,10 @@ class MultiStartRunner:
             active &= ~(reached | capped)
             if not active.any():
                 break
+            if rebalance and lockstep and lockstep % rebalance == 0:
+                # Timing/placement only: keep the still-active replicas split
+                # proportionally to device throughput (trajectories unchanged).
+                self.evaluator.rebalance_resident(active=active)
             lockstep += 1
             active_idx = np.nonzero(active)[0]
 

@@ -1,0 +1,266 @@
+"""Tests for the multi-device scheduler, the pinned-memory transfer model
+and peer-to-peer copies.
+
+Covers the model layer (per-kind transfer pricing, peer link pricing,
+weighted partitioning) and the runtime layer (``copy_peer_async`` interval
+placement and byte accounting, the staging pool, the scheduler's
+cross-device makespan/serialized-sum clocks and merged timeline report).
+"""
+
+import numpy as np
+import pytest
+
+from repro.gpu import (
+    GTX_280,
+    GTX_8800,
+    TESLA_C1060,
+    DeviceScheduler,
+    GPUContext,
+    HostMemoryKind,
+    Kernel,
+    KernelCostProfile,
+    P2P_STREAM,
+    PinnedStagingPool,
+    partition_range,
+    throughput_weights,
+    timeline_report,
+    weighted_partition_range,
+)
+from repro.gpu.timing import GPUTimingModel
+
+
+def _copy_kernel(name="copy"):
+    def body(tids, src, dst):
+        dst[tids] = src[tids]
+
+    return Kernel(name=name, vectorized_fn=body, cost=KernelCostProfile(flops=1, gmem_bytes=8))
+
+
+class TestTransferPricing:
+    def test_pageable_pricing_matches_seed_model(self):
+        model = GPUTimingModel(GTX_280)
+        nbytes = 1 << 20
+        expected = GTX_280.pcie_latency + nbytes / GTX_280.pcie_bandwidth
+        assert model.transfer_time(nbytes) == pytest.approx(expected)
+        assert model.transfer_time(nbytes, HostMemoryKind.PAGEABLE) == pytest.approx(expected)
+
+    def test_pinned_is_strictly_faster_for_any_size(self):
+        model = GPUTimingModel(GTX_280)
+        for nbytes in (0, 64, 4096, 1 << 22):
+            assert model.transfer_time(nbytes, HostMemoryKind.PINNED) < model.transfer_time(
+                nbytes, HostMemoryKind.PAGEABLE
+            )
+
+    def test_peer_transfer_uses_slower_endpoint(self):
+        model = GPUTimingModel(GTX_280)
+        alone = model.peer_transfer_time(1 << 20)
+        with_peer = model.peer_transfer_time(1 << 20, TESLA_C1060)
+        assert alone == pytest.approx(
+            GTX_280.p2p_latency + (1 << 20) / GTX_280.p2p_bandwidth
+        )
+        assert with_peer >= alone
+
+    def test_peer_transfer_rejects_incapable_device(self):
+        with pytest.raises(ValueError, match="peer-to-peer"):
+            GPUTimingModel(GTX_8800).peer_transfer_time(100)
+        with pytest.raises(ValueError, match="peer-to-peer"):
+            GPUTimingModel(GTX_280).peer_transfer_time(100, GTX_8800)
+
+    def test_negative_bytes_rejected(self):
+        model = GPUTimingModel(GTX_280)
+        with pytest.raises(ValueError):
+            model.transfer_time(-1, HostMemoryKind.PINNED)
+        with pytest.raises(ValueError):
+            model.peer_transfer_time(-1)
+
+
+class TestPinnedStagingPool:
+    def test_counters_and_block_rounding(self):
+        pool = PinnedStagingPool(block_bytes=4096)
+        assert pool.stage(100) == 4096
+        assert pool.stage(4097) == 8192
+        assert pool.stagings == 2
+        assert pool.staged_bytes == 4197
+        assert pool.high_water_bytes == 8192
+        pool.reset()
+        assert pool.stagings == 0 and pool.high_water_bytes == 0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            PinnedStagingPool().stage(-1)
+
+    def test_pinned_context_stages_async_packets(self):
+        ctx = GPUContext(GTX_280, pinned=True)
+        ctx.copy_async("packet", np.zeros(100, dtype=np.uint8))
+        assert ctx.staging_pool.stagings == 1
+        assert ctx.memory.bytes_transferred("h2d", HostMemoryKind.PINNED) == 100
+        assert ctx.memory.bytes_transferred("h2d", HostMemoryKind.PAGEABLE) == 0
+
+    def test_pageable_context_has_no_pool(self):
+        ctx = GPUContext(GTX_280)
+        assert ctx.staging_pool is None
+        ctx.copy_async("packet", np.zeros(100, dtype=np.uint8))
+        assert ctx.memory.bytes_transferred("h2d", HostMemoryKind.PAGEABLE) == 100
+
+    def test_pinned_workload_is_faster_than_pageable(self):
+        results = {}
+        for pinned in (False, True):
+            ctx = GPUContext(GTX_280, pinned=pinned)
+            for step in range(5):
+                ctx.to_device(f"buf{step}", np.zeros(1024, dtype=np.float64))
+                ctx.to_host(f"buf{step}")
+            results[pinned] = ctx.stats.transfer_time
+        assert results[True] < results[False]
+
+
+class TestPeerCopies:
+    def test_copy_appears_on_both_timelines_and_p2p_counters_only(self):
+        src = GPUContext(GTX_280)
+        dst = GPUContext(GTX_280)
+        payload = np.arange(256, dtype=np.uint8)
+        event = src.copy_peer_async(dst, "landing", payload)
+        assert np.array_equal(dst.memory.get("landing").data, payload)
+        assert src.stats.p2p_bytes == 256
+        assert src.stats.peer_transfers == 1
+        # No host round trip: the h2d/d2h counters stay untouched on both ends.
+        assert src.stats.h2d_bytes == 0 and src.stats.d2h_bytes == 0
+        assert dst.stats.h2d_bytes == 0 and dst.stats.d2h_bytes == 0
+        for ctx in (src, dst):
+            intervals = ctx.timeline.stream(P2P_STREAM).intervals
+            assert len(intervals) == 1
+            assert intervals[0].kind == "p2p"
+        assert event.time == pytest.approx(
+            src.timing.peer_transfer_time(256, dst.device)
+        )
+
+    def test_link_is_shared_consecutive_copies_serialize(self):
+        src = GPUContext(GTX_280)
+        dst = GPUContext(GTX_280)
+        first = src.copy_peer_async(dst, "a", np.zeros(128, dtype=np.uint8))
+        second = src.copy_peer_async(dst, "b", np.zeros(128, dtype=np.uint8))
+        assert second.time >= 2 * (first.time - 0) - 1e-15
+
+    def test_incapable_endpoint_raises(self):
+        src = GPUContext(GTX_280)
+        dst = GPUContext(GTX_8800)
+        assert not src.can_access_peer(dst)
+        with pytest.raises(RuntimeError, match="p2p-capable"):
+            src.copy_peer_async(dst, "x", np.zeros(8, dtype=np.uint8))
+
+
+class TestWeightedPartitioning:
+    def test_equal_weights_reduce_to_even_split(self):
+        for total, parts in [(103, 4), (10, 3), (7, 7), (0, 2), (3, 5)]:
+            even = partition_range(total, parts)
+            weighted = weighted_partition_range(total, [2.5] * parts)
+            assert weighted == even
+
+    def test_proportional_and_covering(self):
+        parts = weighted_partition_range(100, [3.0, 1.0])
+        assert parts[0].size == 75 and parts[1].size == 25
+        assert parts[0].start == 0 and parts[-1].stop == 100
+        for a, b in zip(parts, parts[1:]):
+            assert a.stop == b.start
+
+    def test_largest_remainder_sums_exactly(self):
+        rng = np.random.default_rng(7)
+        for _ in range(50):
+            total = int(rng.integers(0, 500))
+            weights = rng.uniform(0.1, 10.0, size=int(rng.integers(1, 6)))
+            parts = weighted_partition_range(total, weights)
+            assert sum(p.size for p in parts) == total
+            shares = total * weights / weights.sum()
+            for part, share in zip(parts, shares):
+                assert abs(part.size - share) < 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            weighted_partition_range(-1, [1.0])
+        with pytest.raises(ValueError):
+            weighted_partition_range(10, [])
+        with pytest.raises(ValueError):
+            weighted_partition_range(10, [1.0, -1.0])
+        with pytest.raises(ValueError):
+            weighted_partition_range(10, [0.0, 0.0])
+
+    def test_throughput_weights_homogeneous_equal(self):
+        weights = throughput_weights([GTX_280, GTX_280, GTX_280])
+        assert weights[0] == weights[1] == weights[2]
+
+    def test_throughput_weights_order_faster_device_heavier(self):
+        cost = KernelCostProfile(flops=100.0, gmem_bytes=50.0)
+        w280, w8800 = throughput_weights([GTX_280, GTX_8800], cost)
+        assert w280 > w8800
+
+
+class TestDeviceScheduler:
+    def test_concurrent_issue_overlaps_devices(self):
+        contexts = [GPUContext(GTX_280) for _ in range(3)]
+        scheduler = DeviceScheduler(contexts)
+        kernel = _copy_kernel()
+        src = np.ones(4096)
+        for i in range(3):
+            upload = scheduler.upload(i, "src", src)
+            scheduler.launch(i, kernel, 4096, (src, np.empty(4096)), wait_for=[upload])
+            scheduler.download(i, "src", wait_for=[upload])
+        # All three devices ran the same chain concurrently: the pool-level
+        # makespan is one chain, the serialized sum is three.
+        assert scheduler.makespan < scheduler.serialized_sum
+        assert scheduler.overlap_saved == pytest.approx(
+            scheduler.serialized_sum - scheduler.makespan
+        )
+        assert scheduler.makespan == pytest.approx(max(scheduler.per_device_elapsed))
+
+    def test_cross_device_event_ordering(self):
+        contexts = [GPUContext(GTX_280), GPUContext(GTX_280)]
+        scheduler = DeviceScheduler(contexts)
+        upload = scheduler.upload(0, "a", np.zeros(1 << 16))
+        # An operation on device 1 gated by an event from device 0 cannot
+        # start before that event fires.
+        gated = scheduler.upload(1, "b", np.zeros(16, dtype=np.uint8), wait_for=[upload])
+        interval = contexts[1].timeline.stream("h2d").intervals[0]
+        assert interval.start >= upload.time
+        assert gated.time > upload.time
+
+    def test_host_ops_count_into_makespan(self):
+        contexts = [GPUContext(GTX_280)]
+        scheduler = DeviceScheduler(contexts)
+        event = scheduler.host_op("gather", "partials", 1.0)
+        assert event.time == pytest.approx(1.0)
+        assert scheduler.makespan == pytest.approx(1.0)
+        assert scheduler.serialized_sum == pytest.approx(1.0)
+
+    def test_merged_timeline_report(self):
+        contexts = [GPUContext(GTX_280), GPUContext(GTX_280)]
+        scheduler = DeviceScheduler(contexts)
+        for i in range(2):
+            scheduler.upload(i, "x", np.zeros(1024))
+        scheduler.host_op("gather", "results", 1e-6)
+        report = timeline_report(scheduler)
+        assert "gpu0:h2d" in report and "gpu1:h2d" in report
+        assert "host:host" in report
+        assert "makespan" in report
+        # A bare context list merges the same way (without the host rows).
+        report_list = timeline_report(contexts)
+        assert "gpu1:h2d" in report_list and "host:host" not in report_list
+
+    def test_route_peer_and_capability(self):
+        capable = DeviceScheduler([GPUContext(GTX_280), GPUContext(GTX_280)])
+        assert capable.all_peer_capable
+        event = capable.route_peer(0, 1, "pkt", np.zeros(64, dtype=np.uint8))
+        assert event.time > 0
+        mixed = DeviceScheduler([GPUContext(GTX_280), GPUContext(GTX_8800)])
+        assert not mixed.all_peer_capable
+        assert not mixed.can_route_peer(0, 1)
+
+    def test_reset_rewinds_everything(self):
+        scheduler = DeviceScheduler([GPUContext(GTX_280)])
+        scheduler.upload(0, "x", np.zeros(128))
+        scheduler.host_op("gather", "y", 1e-6)
+        scheduler.reset()
+        assert scheduler.makespan == 0.0
+        assert scheduler.serialized_sum == 0.0
+
+    def test_needs_at_least_one_context(self):
+        with pytest.raises(ValueError):
+            DeviceScheduler([])
