@@ -70,6 +70,12 @@ def build_parser() -> argparse.ArgumentParser:
                        help="stage host transfers through pinned (page-locked) "
                             "memory on the GPU evaluators; --no-pinned keeps the "
                             "pageable model (the default)")
+    p_exp.add_argument("--topology", default=None,
+                       choices=("dedicated", "shared", "switched", "nvlink"),
+                       help="interconnect topology the GPU transfers are routed "
+                            "over: private per-device links (dedicated, the "
+                            "default), a shared host root-complex uplink, a PCIe "
+                            "switch, or an NVLink-style peer mesh")
     p_exp.add_argument("--jobs", type=int, default=1,
                        help="worker processes for --trial-mode parallel")
 
@@ -95,8 +101,18 @@ def build_parser() -> argparse.ArgumentParser:
     p_solve.add_argument("--pinned", action=argparse.BooleanOptionalAction, default=False,
                          help="stage host transfers through pinned memory "
                               "(GPU platforms)")
+    p_solve.add_argument("--topology", default=None,
+                         choices=("dedicated", "shared", "switched", "nvlink"),
+                         help="interconnect topology for the GPU platforms "
+                              "(see the devices command for the link layout)")
 
-    sub.add_parser("devices", help="list the simulated GPU device presets")
+    p_dev = sub.add_parser("devices", help="list the simulated GPU device presets")
+    p_dev.add_argument("--topology", default=None,
+                       choices=("dedicated", "shared", "switched", "nvlink"),
+                       help="additionally print the link layout of this "
+                            "interconnect topology over a pool of GTX 280s")
+    p_dev.add_argument("--devices", type=int, default=4,
+                       help="pool size for the --topology listing (default 4)")
 
     p_map = sub.add_parser("mapping", help="print the thread-id -> move table of a neighborhood")
     p_map.add_argument("--n", type=int, default=6, help="solution length")
@@ -146,11 +162,13 @@ def _cmd_experiment(args) -> int:
         transfer_mode=args.transfer_mode,
         devices=args.devices,
         pinned=args.pinned,
+        topology=args.topology,
     )
     print(f"instance: {args.m} x {n} PPP, {args.k}-Hamming neighborhood, "
           f"{args.trials} trials ({args.trial_mode} mode, {args.evaluator} evaluator, "
           f"{args.transfer_mode} transfers"
-          + (", pinned memory" if args.pinned else "") + ")")
+          + (", pinned memory" if args.pinned else "")
+          + (f", {args.topology} interconnect" if args.topology else "") + ")")
     print(f"fitness: {row.mean_fitness:.2f} +/- {row.std_fitness:.2f}, "
           f"successes: {row.successes}/{row.num_trials}, "
           f"mean iterations: {row.mean_iterations:.1f}")
@@ -168,6 +186,17 @@ def _cmd_experiment(args) -> int:
               f"peer-to-peer traffic {format_bytes(row.p2p_bytes)}, "
               f"serialized per-device sum {format_time(row.serialized_device_s)} "
               f"(cross-device overlap saved {format_time(row.cross_device_overlap_s)})")
+    if row.topology != "dedicated" or row.contention_stall_s > 0:
+        if row.sim_elapsed_s > 0:
+            print(f"interconnect: {row.topology} topology, uplink busy "
+                  f"{format_time(row.uplink_busy_s)} "
+                  f"({row.uplink_utilization:.0%} of elapsed), contention stall "
+                  f"{format_time(row.contention_stall_s)}")
+        else:
+            # Parallel trial mode: the engines live in the worker processes,
+            # so no pool-level interconnect accounting was collected.
+            print(f"interconnect: {row.topology} topology "
+                  f"(per-worker accounting not collected in parallel mode)")
     return 0
 
 
@@ -193,11 +222,13 @@ def _cmd_solve(args) -> int:
         evaluator = CPUEvaluator(problem, neighborhood)
     elif args.platform == "gpu":
         evaluator = GPUEvaluator(
-            problem, neighborhood, use_texture_memory=args.texture, pinned=args.pinned
+            problem, neighborhood, use_texture_memory=args.texture,
+            pinned=args.pinned, topology=args.topology,
         )
     else:
         evaluator = MultiGPUEvaluator(
-            problem, neighborhood, devices=args.devices, pinned=args.pinned
+            problem, neighborhood, devices=args.devices,
+            pinned=args.pinned, topology=args.topology,
         )
 
     print(f"instance: {args.m} x {args.n} PPP, {args.k}-Hamming neighborhood "
@@ -214,8 +245,8 @@ def _cmd_solve(args) -> int:
     return 0 if result.success else 1
 
 
-def _cmd_devices(_args) -> int:
-    from .gpu import DEVICE_PRESETS, XEON_3GHZ
+def _cmd_devices(args) -> int:
+    from .gpu import DEVICE_PRESETS, GTX_280, XEON_3GHZ, HostMemoryKind, resolve_topology
 
     for key, dev in sorted(DEVICE_PRESETS.items()):
         print(f"{key:12s} {dev.name:28s} {dev.multiprocessors:3d} SMs x {dev.cores_per_mp} cores @ "
@@ -228,6 +259,24 @@ def _cmd_devices(_args) -> int:
     host = XEON_3GHZ
     print(f"{'host':12s} {host.name:28s} {host.cores} cores @ {host.clock_hz / 1e9:.1f} GHz "
           f"(baseline uses a single core)")
+    if getattr(args, "topology", None):
+        topo = resolve_topology(args.topology, [GTX_280] * args.devices)
+        print()
+        print(f"topology {topo.name}: {topo.num_devices} x GTX 280")
+        for name in sorted(topo.links):
+            link = topo.links[name]
+            tags = []
+            if link.shared:
+                tags.append("shared fabric")
+            if link.pageable_bandwidth is not None:
+                tags.append(f"pageable cap {link.pageable_bandwidth / 1e9:.1f} GB/s")
+            extra = f" ({', '.join(tags)})" if tags else ""
+            print(f"  link {name:<18} {link.bandwidth / 1e9:>5.1f} GB/s, "
+                  f"{link.latency * 1e6:.1f}us{extra}")
+        for key in topo.device_keys:
+            route = topo.host_route(key, HostMemoryKind.PAGEABLE)
+            hops = " -> ".join(link.name for link in route.links)
+            print(f"  host->{key:<6} via {hops}")
     return 0
 
 

@@ -56,6 +56,7 @@ from ..gpu.dtypes import (
     TABU_STAMP_DTYPE,
 )
 from ..gpu.hierarchy import DEFAULT_BLOCK_SIZE
+from ..gpu.interconnect import InterconnectTopology
 from ..gpu.kernel import ExecutionMode, Kernel, PersistentKernel
 from ..gpu.multi_device import MultiGPU, weighted_partition_range
 from ..gpu.runtime import DeviceLoop, GPUContext, PersistentLaunchRecord
@@ -326,10 +327,15 @@ class GPUEvaluator(NeighborhoodEvaluator):
         context: GPUContext | None = None,
         use_texture_memory: bool = False,
         pinned: bool = False,
+        topology: InterconnectTopology | str | None = None,
     ) -> None:
         super().__init__(problem, neighborhood)
+        if context is not None and topology is not None:
+            raise ValueError("pass either an existing context or a topology, not both")
         self.context = (
-            context if context is not None else GPUContext(device, mode=mode, pinned=pinned)
+            context
+            if context is not None
+            else GPUContext(device, mode=mode, pinned=pinned, topology=topology)
         )
         self.block_size = int(block_size)
         self.use_texture_memory = bool(use_texture_memory)
@@ -402,12 +408,13 @@ class GPUEvaluator(NeighborhoodEvaluator):
 
     def _account_d2h(self, context: GPUContext, num_fitnesses: int) -> None:
         # Device -> host: the fitness array, for host-side move selection,
-        # at the width of the shared fitness dtype.
+        # at the width of the shared fitness dtype; routed through the
+        # interconnect engine like every other copy.
         d2h_bytes = float(FITNESS_BYTES) * num_fitnesses
-        duration = context.timing.transfer_time(d2h_bytes, context._host_kind(None))
-        context.stats.transfer_time += duration
+        grant = context.host_transfer_grant("d2h", d2h_bytes, label="fitnesses")
+        context.stats.transfer_time += grant.duration
         context.stats.d2h_bytes += int(d2h_bytes)
-        context.timeline.schedule_sync("d2h", "fitnesses", duration)
+        context.timeline.schedule_sync("d2h", "fitnesses", grant.duration)
 
     def _evaluate(self, solution: np.ndarray, indices: np.ndarray) -> np.ndarray:
         self._check_open()
@@ -543,10 +550,21 @@ class GPUEvaluator(NeighborhoodEvaluator):
         self._sync_time = self.context.timeline.elapsed
         self.stats.simulated_time += self.context.timeline.elapsed - before
         if persistent:
-            self.last_persistent_record = None
-            self._loop = self.context.open_device_loop(
-                PersistentKernel(self.batch_kernel), block_size=self.block_size
-            )
+            self.open_persistent_loop()
+
+    def open_persistent_loop(self) -> None:
+        """Open the session's single persistent launch (one per run).
+
+        Split out of :meth:`begin_search` so the multi-GPU evaluator can
+        batch the resident uploads of all devices through the interconnect
+        engine first and open each device's loop once its slice has landed.
+        """
+        if self._resident is None:
+            raise RuntimeError("begin_search must be called before open_persistent_loop")
+        self.last_persistent_record = None
+        self._loop = self.context.open_device_loop(
+            PersistentKernel(self.batch_kernel), block_size=self.block_size
+        )
 
     def init_tabu_memory(self, tenure: int) -> None:
         """Make the tabu memory device-resident for the current session.
@@ -1012,13 +1030,16 @@ class GPUEvaluator(NeighborhoodEvaluator):
         context = self.context
         before = context.timeline.elapsed
         nbytes = int(FITNESS_BYTES) * values.size
-        duration = context.timing.transfer_time(nbytes, context._host_kind(None))
-        context.stats.transfer_time += duration
+        start = context._issue_start(DOWNLOAD_STREAM, None, self._sync_time)
+        grant = context.host_transfer_grant(
+            "d2h", nbytes, start=start, label="fitnesses[fetch]"
+        )
+        context.stats.transfer_time += grant.duration
         context.stats.d2h_bytes += nbytes
         interval = context.timeline.schedule(
             "d2h",
             "fitnesses[fetch]",
-            duration,
+            grant.duration,
             stream=DOWNLOAD_STREAM,
             not_before=self._sync_time,
         )
@@ -1105,10 +1126,11 @@ class MultiGPUEvaluator(NeighborhoodEvaluator):
         mode: ExecutionMode = ExecutionMode.VECTORIZED,
         pinned: bool = False,
         peer_routing: bool = True,
+        topology: InterconnectTopology | str | None = None,
     ) -> None:
         super().__init__(problem, neighborhood)
-        self.pool = MultiGPU(devices, mode=mode, pinned=pinned)
-        self.scheduler = DeviceScheduler(self.pool.contexts)
+        self.pool = MultiGPU(devices, mode=mode, pinned=pinned, topology=topology)
+        self.scheduler = DeviceScheduler(self.pool.contexts, engine=self.pool.engine)
         self.block_size = int(block_size)
         self._sub_evaluators = [
             GPUEvaluator(
@@ -1121,11 +1143,12 @@ class MultiGPUEvaluator(NeighborhoodEvaluator):
         ]
         #: Whether resident-session delta packets take the hub-upload +
         #: peer-forward route instead of one host upload per device.  Only
-        #: possible when every device in the pool advertises peer access.
+        #: possible when the interconnect topology routes peer copies
+        #: between every pair of devices in the pool.
         self.peer_routing = (
             bool(peer_routing)
             and self.num_devices > 1
-            and all(ctx.device.p2p_capable for ctx in self.pool.contexts)
+            and self.scheduler.all_peer_capable
         )
         # Replica ranges [lo, hi) owned by each device in a resident session.
         self._replica_ranges: list[tuple[int, int]] | None = None
@@ -1150,20 +1173,34 @@ class MultiGPUEvaluator(NeighborhoodEvaluator):
         return context.memory.get(name).data
 
     def _evaluate(self, solution: np.ndarray, indices: np.ndarray) -> np.ndarray:
-        """Concurrent per-device async chains over a partitioned index space."""
+        """Concurrent per-device async chains over a partitioned index space.
+
+        The per-device uploads (and later the downloads) are priced as one
+        interconnect arbitration batch: they are simultaneous on the
+        simulated clock, so on a shared-uplink topology they split the root
+        complex fairly instead of each assuming a private link.
+        """
         scheduler = self.scheduler
         before = scheduler.makespan
         out = np.empty(indices.size, dtype=np.float64)
         parts = self.pool.partitions(indices.size, self._kernel_cost())
-        for evaluator, part in zip(self._sub_evaluators, parts):
-            if part.size == 0:
-                continue
+        chains = [
+            (evaluator, part)
+            for evaluator, part in zip(self._sub_evaluators, parts)
+            if part.size > 0
+        ]
+        upload_events = scheduler.upload_batch(
+            [
+                (part.device_index, f"solution:{id(self)}:{part.device_index}",
+                 solution.astype(SOLUTION_DTYPE))
+                for _evaluator, part in chains
+            ]
+        )
+        download_items = []
+        for (evaluator, part), upload in zip(chains, upload_events):
             context = evaluator.context
             dev = part.device_index
             part_indices = indices[part.start : part.stop]
-            upload = context.copy_async(
-                f"solution:{id(self)}:{dev}", solution.astype(SOLUTION_DTYPE)
-            )
             buffer_name = f"slice_out:{id(self)}:{dev}"
             sub_out = self._device_buffer(context, buffer_name, part.size)
 
@@ -1183,7 +1220,9 @@ class MultiGPUEvaluator(NeighborhoodEvaluator):
                 wait_for=[upload],
                 block_size=self.block_size,
             )
-            data, _ = context.download_async(buffer_name, wait_for=kernel_event)
+            download_items.append((dev, buffer_name, kernel_event))
+        downloads = scheduler.download_batch(download_items)
+        for (_evaluator, part), (data, _event) in zip(chains, downloads):
             out[part.start : part.stop] = data
         # Devices run concurrently: the step advances the pool-level clock
         # by the cross-device makespan increase, not by a per-device sum.
@@ -1207,22 +1246,32 @@ class MultiGPUEvaluator(NeighborhoodEvaluator):
         scheduler = self.scheduler
         before = scheduler.makespan
         parts = self.pool.partitions(flat_total, self._kernel_cost())
+        chains = []
+        upload_items = []
         for evaluator, part in zip(self._sub_evaluators, parts):
             if part.size == 0:
                 continue
-            context = evaluator.context
             dev = part.device_index
             flat_ids = np.arange(part.start, part.stop, dtype=np.int64)
             replica_ids = flat_ids // num_indices
             neighbor_ids = indices[flat_ids % num_indices]
             replica_lo = int(replica_ids[0])
             block = solutions[replica_lo : int(replica_ids[-1]) + 1]
-            upload = context.copy_async(
-                f"solutions:{id(self)}:{dev}", block.astype(SOLUTION_DTYPE)
+            chains.append((evaluator, part, block, replica_ids - replica_lo, neighbor_ids))
+            upload_items.append(
+                (dev, f"solutions:{id(self)}:{dev}", block.astype(SOLUTION_DTYPE))
             )
+        # The simultaneous per-device uploads (and downloads below) share the
+        # interconnect fairly: one arbitration batch each.
+        upload_events = scheduler.upload_batch(upload_items)
+        download_items = []
+        for (evaluator, part, block, local_replicas, neighbor_ids), upload in zip(
+            chains, upload_events
+        ):
+            context = evaluator.context
+            dev = part.device_index
             buffer_name = f"batch_out:{id(self)}:{dev}"
             sub_out = self._device_buffer(context, buffer_name, part.size)
-            local_replicas = replica_ids - replica_lo
 
             def vectorized_fn(tids, solutions_arr, out_arr,
                               local_replicas=local_replicas, neighbor_ids=neighbor_ids):
@@ -1245,7 +1294,9 @@ class MultiGPUEvaluator(NeighborhoodEvaluator):
                 wait_for=[upload],
                 block_size=self.block_size,
             )
-            data, _ = context.download_async(buffer_name, wait_for=kernel_event)
+            download_items.append((dev, buffer_name, kernel_event))
+        downloads = scheduler.download_batch(download_items)
+        for (evaluator, part, *_), (data, _event) in zip(chains, downloads):
             out[part.start : part.stop] = data
         self.stats.simulated_time += scheduler.makespan - before
         return out.reshape(num_solutions, num_indices)
@@ -1283,9 +1334,29 @@ class MultiGPUEvaluator(NeighborhoodEvaluator):
         self._replica_ranges = [(part.start, part.stop) for part in parts]
         self._persistent = bool(persistent)
         before = self.scheduler.makespan
-        for evaluator, lo, hi in self._resident_parts():
-            evaluator.begin_search(solutions[lo:hi], persistent=persistent)
-        # Devices upload their slices concurrently (independent timelines).
+        # The per-device resident uploads leave the host together, so they
+        # are priced as one interconnect arbitration batch: on a shared
+        # uplink each replica slice sees its fair share of the root complex
+        # instead of a private full-rate link.
+        slices = list(self._resident_parts())
+        upload_items = []
+        pre_elapsed = []
+        for evaluator, lo, hi in slices:
+            index = self.pool.contexts.index(evaluator.context)
+            pre_elapsed.append(evaluator.context.timeline.elapsed)
+            upload_items.append(
+                (
+                    index,
+                    evaluator._session_buffer("resident"),
+                    solutions[lo:hi].astype(SOLUTION_DTYPE),
+                )
+            )
+        events = self.scheduler.upload_batch(upload_items, sync=True)
+        for (evaluator, lo, hi), event, elapsed_before in zip(slices, events, pre_elapsed):
+            evaluator._adopt_resident(solutions[lo:hi], arrival=event.time)
+            evaluator.stats.simulated_time += event.time - elapsed_before
+            if persistent:
+                evaluator.open_persistent_loop()
         self.stats.simulated_time += self.scheduler.makespan - before
 
     def init_tabu_memory(self, tenure: int) -> None:
@@ -1594,25 +1665,31 @@ class MultiGPUEvaluator(NeighborhoodEvaluator):
                     arrival_time = arrival.time
                 else:
                     # No peer link: the rows take the classic host round trip
-                    # (device -> host -> device), both legs on the timelines.
+                    # (device -> host -> device), both legs routed through
+                    # the interconnect engine so migrations contend on a
+                    # shared uplink like any other host transfer.
                     src_context, dst_context = src_sub.context, dst_sub.context
-                    down = src_context.timing.transfer_time(
-                        payload.nbytes, src_context._host_kind(None)
+                    down_start = src_context._issue_start(DOWNLOAD_STREAM, None, start)
+                    down = src_context.host_transfer_grant(
+                        "d2h", payload.nbytes,
+                        start=down_start, label=f"migrate:{src}->{dst}",
                     )
                     interval = src_context.timeline.schedule(
-                        "d2h", f"migrate:{src}->{dst}", down,
+                        "d2h", f"migrate:{src}->{dst}", down.duration,
                         stream=DOWNLOAD_STREAM, not_before=start,
                     )
-                    src_context.stats.transfer_time += down
+                    src_context.stats.transfer_time += down.duration
                     src_context.stats.d2h_bytes += payload.nbytes
-                    up = dst_context.timing.transfer_time(
-                        payload.nbytes, dst_context._host_kind(None)
+                    up_start = dst_context._issue_start(COPY_STREAM, None, interval.end)
+                    up = dst_context.host_transfer_grant(
+                        "h2d", payload.nbytes,
+                        start=up_start, label=f"migrate:{src}->{dst}",
                     )
                     up_interval = dst_context.timeline.schedule(
-                        "h2d", f"migrate:{src}->{dst}", up,
+                        "h2d", f"migrate:{src}->{dst}", up.duration,
                         stream=COPY_STREAM, not_before=interval.end,
                     )
-                    dst_context.stats.transfer_time += up
+                    dst_context.stats.transfer_time += up.duration
                     dst_context.stats.h2d_bytes += payload.nbytes
                     arrival_time = up_interval.end
                 arrivals[dst] = max(arrivals.get(dst, 0.0), arrival_time)

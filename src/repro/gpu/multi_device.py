@@ -17,6 +17,7 @@ from dataclasses import dataclass
 from typing import Sequence
 
 from .device import DeviceSpec, GTX_280
+from .interconnect import InterconnectTopology, TransferEngine, resolve_topology
 from .kernel import ExecutionMode
 from .runtime import GPUContext
 from .timing import KernelCostProfile
@@ -133,6 +134,7 @@ class MultiGPU:
         *,
         mode: ExecutionMode = ExecutionMode.VECTORIZED,
         pinned: bool = False,
+        topology: InterconnectTopology | str | None = None,
     ) -> None:
         if isinstance(devices, int):
             if devices <= 0:
@@ -140,7 +142,23 @@ class MultiGPU:
             devices = [GTX_280] * devices
         if not devices:
             raise ValueError("need at least one device")
-        self.contexts = [GPUContext(spec, mode=mode, pinned=pinned) for spec in devices]
+        #: The host interconnect the pool hangs off: every context shares one
+        #: :class:`~repro.gpu.interconnect.TransferEngine`, so concurrent
+        #: transfers of different devices contend on shared links.  The
+        #: default derives a dedicated-link fabric from the device specs
+        #: (the legacy fully-parallel model).
+        self.topology = resolve_topology(topology, devices)
+        self.engine = TransferEngine(self.topology)
+        self.contexts = [
+            GPUContext(
+                spec,
+                mode=mode,
+                pinned=pinned,
+                engine=self.engine,
+                device_key=self.topology.device_keys[i],
+            )
+            for i, spec in enumerate(devices)
+        ]
 
     @property
     def num_devices(self) -> int:

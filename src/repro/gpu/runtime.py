@@ -30,6 +30,12 @@ import numpy as np
 
 from .device import DeviceSpec, GTX_280
 from .hierarchy import DEFAULT_BLOCK_SIZE, LaunchConfig
+from .interconnect import (
+    InterconnectTopology,
+    TransferEngine,
+    TransferGrant,
+    resolve_topology,
+)
 from .kernel import ExecutionMode, Kernel, KernelLaunch, PersistentKernel, normalize_work
 from .memory import HostMemoryKind, MemoryManager, MemorySpace, PinnedStagingPool
 from .streams import (
@@ -158,6 +164,13 @@ class DeviceLoop:
         self._ring_bytes = 0
         self._control_time = 0.0
         self._control_bytes = 0
+        # The host's concurrent ring/control traffic is priced through the
+        # interconnect engine at its approximate position inside the loop, so
+        # persistent-mode drains contend on a shared uplink like any other
+        # copy; each cursor advances past the grants already issued.
+        loop_start = self.start_time + context.device.kernel_launch_overhead
+        self._ring_cursor = loop_start
+        self._control_cursor = loop_start
         self._closed = False
 
     def _check_open(self) -> None:
@@ -213,7 +226,11 @@ class DeviceLoop:
     def drain_ring(self, nbytes: int) -> float:
         """Account the host draining ``nbytes`` of the per-iteration result ring."""
         self._check_open()
-        duration = self.context.timing.transfer_time(nbytes, self.context._host_kind(None))
+        grant = self.context.host_transfer_grant(
+            "d2h", nbytes, start=self._ring_cursor, label=f"ring[{self.kernel.name}]"
+        )
+        duration = grant.duration
+        self._ring_cursor = grant.end
         self._ring_time += duration
         self._ring_bytes += int(nbytes)
         self.context.stats.transfer_time += duration
@@ -223,7 +240,11 @@ class DeviceLoop:
     def write_control(self, nbytes: int) -> float:
         """Account the host writing ``nbytes`` of early-stop/control flags."""
         self._check_open()
-        duration = self.context.timing.transfer_time(nbytes, self.context._host_kind(None))
+        grant = self.context.host_transfer_grant(
+            "h2d", nbytes, start=self._control_cursor, label=f"flags[{self.kernel.name}]"
+        )
+        duration = grant.duration
+        self._control_cursor = grant.end
         self._control_time += duration
         self._control_bytes += int(nbytes)
         self.context.stats.transfer_time += duration
@@ -291,6 +312,18 @@ class GPUContext:
         memory: copies are priced with the device's pinned PCIe terms and
         packet stagings are accounted in :attr:`staging_pool`.  The default
         (pageable) keeps the seed model's single latency + bandwidth term.
+    engine:
+        The pool's shared :class:`~repro.gpu.interconnect.TransferEngine`.
+        Every copy this context issues is routed and priced through it, so
+        transfers of different devices contend on shared links.  Omitted, a
+        private engine over a single-device topology is created (``topology``
+        selects which; the default derives a dedicated link from the device
+        spec, pricing bit-identically to the legacy model).
+    device_key:
+        This context's name inside the engine's topology (``"gpu0"``, ...).
+    topology:
+        Preset name or :class:`~repro.gpu.interconnect.InterconnectTopology`
+        used when no ``engine`` is passed.
     """
 
     def __init__(
@@ -300,6 +333,9 @@ class GPUContext:
         mode: ExecutionMode = ExecutionMode.VECTORIZED,
         keep_launch_records: bool = False,
         pinned: bool = False,
+        engine: TransferEngine | None = None,
+        device_key: str = "gpu0",
+        topology: InterconnectTopology | str | None = None,
     ) -> None:
         self.device = device
         self.mode = mode
@@ -309,6 +345,20 @@ class GPUContext:
         self.timeline = Timeline()
         self.keep_launch_records = keep_launch_records
         self.pinned = bool(pinned)
+        if engine is None:
+            engine = TransferEngine(resolve_topology(topology, [device]))
+            device_key = engine.topology.device_keys[0]
+        elif topology is not None:
+            raise ValueError("pass either a shared engine or a topology, not both")
+        if device_key not in engine.topology.device_keys:
+            raise ValueError(
+                f"device_key {device_key!r} is not part of topology "
+                f"{engine.topology.name!r} ({engine.topology.device_keys})"
+            )
+        #: Interconnect engine pricing every transfer this context issues.
+        self.engine = engine
+        #: This device's name inside the engine's topology.
+        self.device_key = device_key
         #: Pinned staging buffers for the per-iteration delta/result packets
         #: (allocated once, recycled; ``None`` on pageable contexts).
         self.staging_pool: PinnedStagingPool | None = (
@@ -320,6 +370,46 @@ class GPUContext:
         if kind is not None:
             return kind
         return HostMemoryKind.PINNED if self.pinned else HostMemoryKind.PAGEABLE
+
+    def _issue_start(
+        self,
+        stream: str,
+        wait_for: Event | list[Event] | None,
+        not_before: float,
+    ) -> float:
+        """The instant a stream-ordered operation would start (cursor + deps)."""
+        if wait_for is None:
+            events: list[Event] = []
+        elif isinstance(wait_for, Event):
+            events = [wait_for]
+        else:
+            events = list(wait_for)
+        barrier = max([not_before, *(event.time for event in events)], default=not_before)
+        return max(self.timeline.stream(stream).cursor, barrier)
+
+    def host_transfer_grant(
+        self,
+        direction: str,
+        nbytes: float,
+        *,
+        kind: HostMemoryKind | None = None,
+        start: float | None = None,
+        label: str = "",
+    ) -> TransferGrant:
+        """Route one host<->device copy of this device through the engine.
+
+        ``start`` defaults to the null-stream issue point (the timeline's
+        current makespan).  The caller schedules the returned grant's
+        duration on whichever stream carries the copy.
+        """
+        return self.engine.transfer(
+            self.device_key,
+            direction,
+            nbytes,
+            kind=self._host_kind(kind),
+            start=self.timeline.elapsed if start is None else start,
+            label=label,
+        )
 
     # ------------------------------------------------------------------
     # Memory operations (timed)
@@ -339,20 +429,20 @@ class GPUContext:
         """
         kind = self._host_kind(host_kind)
         buf = self.memory.to_device(name, host_array, space, host_kind=kind)
-        duration = self.timing.transfer_time(buf.nbytes, kind)
-        self.stats.transfer_time += duration
+        grant = self.host_transfer_grant("h2d", buf.nbytes, kind=kind, label=name)
+        self.stats.transfer_time += grant.duration
         self.stats.h2d_bytes += buf.nbytes
-        self.timeline.schedule_sync("h2d", name, duration)
+        self.timeline.schedule_sync("h2d", name, grant.duration)
         return buf
 
     def to_host(self, name: str, *, host_kind: HostMemoryKind | None = None) -> np.ndarray:
         """Copy device buffer ``name`` back to the host (null-stream semantics)."""
         kind = self._host_kind(host_kind)
         out = self.memory.to_host(name, host_kind=kind)
-        duration = self.timing.transfer_time(out.nbytes, kind)
-        self.stats.transfer_time += duration
+        grant = self.host_transfer_grant("d2h", out.nbytes, kind=kind, label=name)
+        self.stats.transfer_time += grant.duration
         self.stats.d2h_bytes += out.nbytes
-        self.timeline.schedule_sync("d2h", name, duration)
+        self.timeline.schedule_sync("d2h", name, grant.duration)
         return out
 
     def alloc(self, name: str, shape, dtype=np.float64, space: MemorySpace = MemorySpace.GLOBAL):
@@ -459,6 +549,7 @@ class GPUContext:
         not_before: float = 0.0,
         space: MemorySpace = MemorySpace.GLOBAL,
         host_kind: HostMemoryKind | None = None,
+        grant: TransferGrant | None = None,
     ) -> Event:
         """Host -> device copy issued on ``stream``; returns its completion event.
 
@@ -466,7 +557,8 @@ class GPUContext:
         the staged array's geometry changes (delta packets shrink and grow
         with the number of still-active replicas).  On a pinned context the
         packet is staged through :attr:`staging_pool` and priced with the
-        pinned PCIe terms.
+        pinned PCIe terms.  Passing a pre-priced ``grant`` (from a batched
+        engine arbitration) skips the per-copy pricing.
         """
         host_array = np.asarray(host_array)
         existing = self.memory.allocations.get(name)
@@ -478,11 +570,16 @@ class GPUContext:
         if kind is HostMemoryKind.PINNED and self.staging_pool is not None:
             self.staging_pool.stage(int(host_array.nbytes))
         buf = self.memory.to_device(name, host_array, space, host_kind=kind)
-        duration = self.timing.transfer_time(buf.nbytes, kind)
-        self.stats.transfer_time += duration
+        if grant is None:
+            start = self._issue_start(stream, wait_for, not_before)
+            grant = self.host_transfer_grant(
+                "h2d", buf.nbytes, kind=kind, start=start, label=name
+            )
+        self.stats.transfer_time += grant.duration
         self.stats.h2d_bytes += buf.nbytes
         interval = self.timeline.schedule(
-            "h2d", name, duration, stream=stream, wait_for=wait_for, not_before=not_before
+            "h2d", name, grant.duration,
+            stream=stream, wait_for=wait_for, not_before=not_before,
         )
         return Event(stream=stream, time=interval.end)
 
@@ -494,17 +591,23 @@ class GPUContext:
         wait_for: Event | list[Event] | None = None,
         not_before: float = 0.0,
         host_kind: HostMemoryKind | None = None,
+        grant: TransferGrant | None = None,
     ) -> tuple[np.ndarray, Event]:
         """Device -> host copy issued on ``stream``; returns (data, event)."""
         kind = self._host_kind(host_kind)
         out = self.memory.to_host(name, host_kind=kind)
         if kind is HostMemoryKind.PINNED and self.staging_pool is not None:
             self.staging_pool.stage(int(out.nbytes))
-        duration = self.timing.transfer_time(out.nbytes, kind)
-        self.stats.transfer_time += duration
+        if grant is None:
+            start = self._issue_start(stream, wait_for, not_before)
+            grant = self.host_transfer_grant(
+                "d2h", out.nbytes, kind=kind, start=start, label=name
+            )
+        self.stats.transfer_time += grant.duration
         self.stats.d2h_bytes += out.nbytes
         interval = self.timeline.schedule(
-            "d2h", name, duration, stream=stream, wait_for=wait_for, not_before=not_before
+            "d2h", name, grant.duration,
+            stream=stream, wait_for=wait_for, not_before=not_before,
         )
         return out, Event(stream=stream, time=interval.end)
 
@@ -512,7 +615,14 @@ class GPUContext:
     # Peer-to-peer (device -> device) operations
     # ------------------------------------------------------------------
     def can_access_peer(self, peer: "GPUContext") -> bool:
-        """Whether a direct peer copy to ``peer`` is possible (both capable)."""
+        """Whether a direct peer copy to ``peer`` is possible.
+
+        Contexts sharing one interconnect engine consult its topology (the
+        peer mesh is a routing property there); standalone contexts fall
+        back to the specs' capability flags.
+        """
+        if self.engine is peer.engine:
+            return self.engine.has_peer_route(self.device_key, peer.device_key)
         return self.device.p2p_capable and peer.device.p2p_capable
 
     def copy_peer_async(
@@ -535,10 +645,17 @@ class GPUContext:
         counters, because no host round trip takes place.
         """
         if not self.can_access_peer(peer):
-            incapable = self.device if not self.device.p2p_capable else peer.device
+            if not self.device.p2p_capable or not peer.device.p2p_capable:
+                incapable = self.device if not self.device.p2p_capable else peer.device
+                reason = f"{incapable.name!r} is not p2p-capable"
+            else:
+                reason = (
+                    f"topology {self.engine.topology.name!r} has no peer route "
+                    f"{self.device_key} -> {peer.device_key}"
+                )
             raise RuntimeError(
                 f"peer access between {self.device.name!r} and {peer.device.name!r} "
-                f"is unavailable ({incapable.name!r} is not p2p-capable); "
+                f"is unavailable ({reason}); "
                 "route the packet through the host instead"
             )
         data = np.asarray(data)
@@ -550,10 +667,6 @@ class GPUContext:
         if name not in peer.memory.allocations:
             peer.memory.alloc(name, data.shape, data.dtype, space)
         peer.memory.get(name).copy_from_host(data)
-        duration = self.timing.peer_transfer_time(int(data.nbytes), peer.device)
-        self.stats.p2p_bytes += int(data.nbytes)
-        self.stats.peer_transfers += 1
-        self.stats.p2p_time += duration
         # Both endpoints' p2p engines are busy for the copy's duration; the
         # shared start is the later of the two stream cursors (plus deps).
         barrier = max(
@@ -561,6 +674,21 @@ class GPUContext:
             peer.timeline.stream(P2P_STREAM).cursor,
             not_before,
         )
+        if self.engine is peer.engine:
+            start = self._issue_start(P2P_STREAM, wait_for, barrier)
+            start = max(start, peer.timeline.stream(P2P_STREAM).cursor)
+            grant = self.engine.peer_transfer(
+                self.device_key, peer.device_key, int(data.nbytes),
+                start=start, label=name,
+            )
+            duration = grant.duration
+        else:
+            # Standalone contexts with private engines: legacy point-to-point
+            # peer pricing from the device specs.
+            duration = self.timing.peer_transfer_time(int(data.nbytes), peer.device)
+        self.stats.p2p_bytes += int(data.nbytes)
+        self.stats.peer_transfers += 1
+        self.stats.p2p_time += duration
         self.timeline.schedule(
             "p2p", f"{name}->peer", duration,
             stream=P2P_STREAM, wait_for=wait_for, not_before=barrier,
@@ -643,10 +771,17 @@ class GPUContext:
 
     # ------------------------------------------------------------------
     def reset(self) -> None:
-        """Clear statistics, transfer logs and the stream timeline (allocations survive)."""
+        """Clear statistics, transfer logs and the stream timeline (allocations survive).
+
+        The interconnect engine's committed load rewinds too — its load
+        profile is anchored to the same simulated clock the timeline resets.
+        A pool-shared engine is reset by whichever context resets first
+        (pools rewind all their contexts together).
+        """
         self.stats.reset()
         self.memory.reset_statistics()
         self.timeline.reset()
+        self.engine.reset()
         if self.staging_pool is not None:
             self.staging_pool.reset()
 

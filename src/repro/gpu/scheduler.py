@@ -25,10 +25,19 @@ from typing import Sequence
 import numpy as np
 
 from .hierarchy import DEFAULT_BLOCK_SIZE
+from .interconnect import TransferEngine, TransferRequest
 from .kernel import Kernel, KernelLaunch
 from .memory import HostMemoryKind, MemorySpace
 from .runtime import GPUContext
-from .streams import Event, Stream, StreamInterval, Timeline
+from .streams import (
+    COPY_STREAM,
+    DEFAULT_STREAM,
+    DOWNLOAD_STREAM,
+    Event,
+    Stream,
+    StreamInterval,
+    Timeline,
+)
 from .timing import KernelCostProfile
 
 __all__ = ["DeviceScheduler", "HOST_TIMELINE_STREAM", "merge_timelines"]
@@ -83,11 +92,21 @@ class DeviceScheduler:
         contexts: Sequence[GPUContext],
         *,
         host_timeline: Timeline | None = None,
+        engine: TransferEngine | None = None,
     ) -> None:
         if not contexts:
             raise ValueError("need at least one device context")
         self.contexts = list(contexts)
         self.host_timeline = host_timeline if host_timeline is not None else Timeline()
+        if engine is None:
+            # A pool built over one shared interconnect exposes it here; a
+            # grab-bag of standalone contexts (each with a private engine)
+            # leaves the scheduler without a pool-level fabric view.
+            first = contexts[0].engine
+            if all(ctx.engine is first for ctx in contexts):
+                engine = first
+        #: The pool's shared transfer engine (``None`` for mixed pools).
+        self.engine = engine
 
     # ------------------------------------------------------------------
     @property
@@ -187,6 +206,127 @@ class DeviceScheduler:
             self.contexts[dst], name, data, wait_for=wait_for, not_before=not_before
         )
 
+    def upload_batch(
+        self,
+        items: Sequence[tuple[int, str, np.ndarray]],
+        *,
+        host_kind: HostMemoryKind | None = None,
+        stream: str = COPY_STREAM,
+        sync: bool = False,
+        not_before: float = 0.0,
+    ) -> list[Event]:
+        """Concurrent host -> device fan-out as ONE engine arbitration batch.
+
+        ``items`` is a list of ``(device_index, buffer_name, host_array)``
+        triples.  All copies are priced together, so on a shared-uplink
+        topology ``N`` simultaneous uploads each see ``~1/N`` of the root
+        complex — issuing them one by one would let the first grab the full
+        rate before the others arrive.  ``sync=True`` uses null-stream
+        semantics per device (the copy starts once that device has drained).
+        """
+        if not items:
+            return []
+        engine = self.engine
+        prepared = []
+        requests = []
+        for index, name, host_array in items:
+            ctx = self.contexts[index]
+            host_array = np.asarray(host_array)
+            kind = ctx._host_kind(host_kind)
+            if sync:
+                # Null-stream semantics: the copy starts once every stream
+                # of that device has drained (or at the caller's floor).
+                target_stream = DEFAULT_STREAM
+                start = max(ctx.timeline.elapsed, not_before)
+            else:
+                target_stream = stream
+                start = ctx._issue_start(stream, None, not_before)
+            prepared.append((ctx, name, host_array, kind, start, target_stream))
+            requests.append(
+                TransferRequest(
+                    device=ctx.device_key,
+                    direction="h2d",
+                    nbytes=int(host_array.nbytes),
+                    kind=kind,
+                    start=start,
+                    label=name,
+                )
+            )
+        if engine is not None:
+            grants = engine.transfer_batch(requests)
+        else:
+            # Mixed pools without one shared fabric: per-context pricing.
+            grants = [
+                ctx.host_transfer_grant(
+                    "h2d", request.nbytes, kind=request.kind,
+                    start=request.start, label=request.label,
+                )
+                for (ctx, *_), request in zip(prepared, requests)
+            ]
+        return [
+            ctx.copy_async(
+                name, host_array,
+                stream=target_stream, not_before=start,
+                host_kind=kind, grant=grant,
+            )
+            for (ctx, name, host_array, kind, start, target_stream), grant in zip(
+                prepared, grants
+            )
+        ]
+
+    def download_batch(
+        self,
+        items: Sequence[tuple[int, str, Event | None]],
+        *,
+        host_kind: HostMemoryKind | None = None,
+        stream: str = DOWNLOAD_STREAM,
+    ) -> list[tuple[np.ndarray, Event]]:
+        """Concurrent device -> host gather as ONE engine arbitration batch.
+
+        ``items`` is a list of ``(device_index, buffer_name, wait_event)``
+        triples; each copy starts once its device's download stream is free
+        and its event (typically the kernel completion) has fired.
+        """
+        if not items:
+            return []
+        engine = self.engine
+        prepared = []
+        requests = []
+        for index, name, wait_event in items:
+            ctx = self.contexts[index]
+            kind = ctx._host_kind(host_kind)
+            start = ctx._issue_start(stream, wait_event, 0.0)
+            nbytes = ctx.memory.get(name).nbytes
+            prepared.append((ctx, name, kind, start, wait_event))
+            requests.append(
+                TransferRequest(
+                    device=ctx.device_key,
+                    direction="d2h",
+                    nbytes=nbytes,
+                    kind=kind,
+                    start=start,
+                    label=name,
+                )
+            )
+        if engine is not None:
+            grants = engine.transfer_batch(requests)
+        else:
+            grants = [
+                ctx.host_transfer_grant(
+                    "d2h", request.nbytes, kind=request.kind,
+                    start=request.start, label=request.label,
+                )
+                for (ctx, *_), request in zip(prepared, requests)
+            ]
+        results = []
+        for (ctx, name, kind, start, wait_event), grant in zip(prepared, grants):
+            data, event = ctx.download_async(
+                name, stream=stream, wait_for=wait_event,
+                host_kind=kind, grant=grant,
+            )
+            results.append((data, event))
+        return results
+
     def host_op(
         self,
         kind: str,
@@ -213,6 +353,13 @@ class DeviceScheduler:
     @property
     def all_peer_capable(self) -> bool:
         """Whether every pairwise P2P link in the pool is available."""
+        if self.engine is not None:
+            keys = [ctx.device_key for ctx in self.contexts]
+            return all(
+                self.engine.has_peer_route(a, b)
+                for i, a in enumerate(keys)
+                for b in keys[i + 1 :]
+            )
         return all(ctx.device.p2p_capable for ctx in self.contexts)
 
     # ------------------------------------------------------------------
@@ -249,12 +396,20 @@ class DeviceScheduler:
 
     # ------------------------------------------------------------------
     def merged_timeline(self) -> Timeline:
-        """All device timelines plus the host one, as a single prefixed view."""
+        """All device timelines plus the host one, as a single prefixed view.
+
+        When the pool shares a transfer engine whose topology has shared
+        links (a host uplink, a switch fabric), each populated link appears
+        as its own ``interconnect:<link>`` lane, so the report shows *when*
+        the root complex was busy next to the per-device streams.
+        """
         timelines: dict[str, Timeline] = {
             f"gpu{i}": ctx.timeline for i, ctx in enumerate(self.contexts)
         }
         if self.host_timeline.streams:
             timelines["host"] = self.host_timeline
+        if self.engine is not None and self.engine.timeline.streams:
+            timelines["interconnect"] = self.engine.timeline
         return merge_timelines(timelines)
 
     def reset(self) -> None:

@@ -45,15 +45,17 @@ TRIAL_MODES = ("serial", "parallel", "batched")
 #: Named evaluator factories.  Names (unlike arbitrary callables) can be
 #: shipped to worker processes and rebuilt there, which is what lets the
 #: parallel trial runner support every platform.  The GPU-backed factories
-#: accept the device-pool options (``devices``, ``pinned``).
+#: accept the device-pool options (``devices``, ``pinned``, ``topology``).
 EVALUATOR_SPECS = {
     "cpu": lambda problem, neighborhood: CPUEvaluator(problem, neighborhood),
     "sequential": lambda problem, neighborhood: SequentialEvaluator(problem, neighborhood),
-    "gpu": lambda problem, neighborhood, pinned=False: GPUEvaluator(
-        problem, neighborhood, pinned=pinned
+    "gpu": lambda problem, neighborhood, pinned=False, topology=None: GPUEvaluator(
+        problem, neighborhood, pinned=pinned, topology=topology
     ),
-    "multi-gpu": lambda problem, neighborhood, devices=2, pinned=False: MultiGPUEvaluator(
-        problem, neighborhood, devices=devices, pinned=pinned
+    "multi-gpu": lambda problem, neighborhood, devices=2, pinned=False, topology=None: (
+        MultiGPUEvaluator(
+            problem, neighborhood, devices=devices, pinned=pinned, topology=topology
+        )
     ),
 }
 
@@ -61,25 +63,32 @@ EVALUATOR_SPECS = {
 _SPEC_OPTIONS = {
     "cpu": (),
     "sequential": (),
-    "gpu": ("pinned",),
-    "multi-gpu": ("devices", "pinned"),
+    "gpu": ("pinned", "topology"),
+    "multi-gpu": ("devices", "pinned", "topology"),
 }
 
 
-def resolve_evaluator_factory(spec, *, devices: int | None = None, pinned: bool = False):
+def resolve_evaluator_factory(
+    spec,
+    *,
+    devices: int | None = None,
+    pinned: bool = False,
+    topology: str | None = None,
+):
     """Turn an evaluator spec (name, callable or ``None``) into a factory.
 
     ``None`` selects the default vectorized CPU evaluator; a string is looked
     up in :data:`EVALUATOR_SPECS`; a callable is returned unchanged.  The
-    ``devices``/``pinned`` pool options apply only to the GPU-backed named
-    specs — passing them with a CPU spec or a custom callable is an error
-    (silently ignoring them would misreport the experiment's configuration).
+    ``devices``/``pinned``/``topology`` pool options apply only to the
+    GPU-backed named specs — passing them with a CPU spec or a custom
+    callable is an error (silently ignoring them would misreport the
+    experiment's configuration).
     """
-    options_requested = devices is not None or pinned
+    options_requested = devices is not None or pinned or topology is not None
     if spec is None:
         if options_requested:
             raise ValueError(
-                "devices/pinned need a GPU-backed evaluator spec "
+                "devices/pinned/topology need a GPU-backed evaluator spec "
                 "(\"gpu\" or \"multi-gpu\")"
             )
         return EVALUATOR_SPECS["cpu"]
@@ -95,6 +104,10 @@ def resolve_evaluator_factory(spec, *, devices: int | None = None, pinned: bool 
             raise ValueError(f"evaluator spec {spec!r} does not take a device count")
         if pinned and "pinned" not in supported:
             raise ValueError(f"evaluator spec {spec!r} does not support pinned memory")
+        if topology is not None and "topology" not in supported:
+            raise ValueError(
+                f"evaluator spec {spec!r} does not take an interconnect topology"
+            )
         if not supported or not options_requested:
             return base
         options = {}
@@ -102,11 +115,13 @@ def resolve_evaluator_factory(spec, *, devices: int | None = None, pinned: bool 
             options["devices"] = devices
         if "pinned" in supported:
             options["pinned"] = pinned
+        if topology is not None and "topology" in supported:
+            options["topology"] = topology
         return lambda problem, neighborhood: base(problem, neighborhood, **options)
     if callable(spec):
         if options_requested:
             raise ValueError(
-                "devices/pinned apply to named evaluator specs only; "
+                "devices/pinned/topology apply to named evaluator specs only; "
                 "bake them into the custom factory instead"
             )
         return spec
@@ -161,6 +176,12 @@ class ExperimentRow:
     serialized_device_s: float = 0.0
     #: Per-device overlap-aware elapsed times (timeline makespans).
     device_elapsed_s: list[float] = field(default_factory=list)
+    #: Interconnect topology the pool's transfers were routed over.
+    topology: str = "dedicated"
+    #: Busy time of the shared host uplink (0 on dedicated fabrics).
+    uplink_busy_s: float = 0.0
+    #: Total time transfers spent stalled on shared-link arbitration.
+    contention_stall_s: float = 0.0
 
     # ------------------------------------------------------------------
     @property
@@ -207,6 +228,13 @@ class ExperimentRow:
         """Simulated time saved by running the devices concurrently."""
         return max(0.0, self.serialized_device_s - self.sim_elapsed_s)
 
+    @property
+    def uplink_utilization(self) -> float:
+        """Fraction of the elapsed makespan the shared host uplink was busy."""
+        if self.sim_elapsed_s <= 0.0:
+            return 0.0
+        return self.uplink_busy_s / self.sim_elapsed_s
+
     def as_dict(self) -> dict:
         """Plain-dictionary view (used by the reporting code and the benches)."""
         return {
@@ -233,6 +261,10 @@ class ExperimentRow:
             "serialized_device_s": self.serialized_device_s,
             "cross_device_overlap_s": self.cross_device_overlap_s,
             "device_elapsed_s": list(self.device_elapsed_s),
+            "topology": self.topology,
+            "uplink_busy_s": self.uplink_busy_s,
+            "uplink_utilization": self.uplink_utilization,
+            "contention_stall_s": self.contention_stall_s,
         }
 
 
@@ -257,6 +289,11 @@ def _collect_transfer_stats(evaluator, row: ExperimentRow) -> None:
     row.transfer_time_s = sum(ctx.stats.transfer_time for ctx in contexts)
     row.serialized_device_s = sum(ctx.timeline.busy_time for ctx in contexts)
     row.device_elapsed_s = [ctx.timeline.elapsed for ctx in contexts]
+    engine = contexts[0].engine
+    if all(ctx.engine is engine for ctx in contexts):
+        row.topology = engine.topology.name
+        row.uplink_busy_s = engine.uplink_busy()
+        row.contention_stall_s = engine.total_stall
 
 
 def _run_single_trial(
@@ -270,6 +307,7 @@ def _run_single_trial(
     transfer_mode: str = "full",
     devices: int | None = None,
     pinned: bool = False,
+    topology: str | None = None,
 ) -> TrialRecord:
     """Worker executing one tabu-search trial (used by the parallel runner).
 
@@ -280,7 +318,9 @@ def _run_single_trial(
     m, n = spec
     problem = make_table_instance(PPPInstanceSpec(m, n), trial=0)
     neighborhood = KHammingNeighborhood(problem.n, order)
-    factory = resolve_evaluator_factory(evaluator, devices=devices, pinned=pinned)
+    factory = resolve_evaluator_factory(
+        evaluator, devices=devices, pinned=pinned, topology=topology
+    )
     search = TabuSearch(
         factory(problem, neighborhood),
         tenure=tenure,
@@ -312,6 +352,7 @@ def run_ppp_experiment(
     transfer_mode: str = "full",
     devices: int | None = None,
     pinned: bool = False,
+    topology: str | None = None,
 ) -> ExperimentRow:
     """Run the paper's tabu-search protocol on one instance and one neighborhood.
 
@@ -368,6 +409,14 @@ def run_ppp_experiment(
         Stage host transfers through pinned memory on the GPU-backed
         evaluators (named specs only); the timing model then prices PCIe
         copies with the devices' pinned latency/bandwidth terms.
+    topology:
+        Interconnect topology preset the GPU-backed evaluators route their
+        transfers over (one of
+        :data:`~repro.gpu.interconnect.TOPOLOGY_PRESETS`: ``"dedicated"``,
+        ``"shared"``, ``"switched"``, ``"nvlink"``).  The default keeps the
+        legacy dedicated-link model; the contended fabrics time-share the
+        host root complex among concurrent transfers.  Purely a timing
+        property — trajectories are identical across topologies.
     """
     if not isinstance(spec, PPPInstanceSpec):
         spec = PPPInstanceSpec(*spec)
@@ -398,7 +447,9 @@ def run_ppp_experiment(
                 f"expected one of {sorted(EVALUATOR_SPECS)}"
             )
         # Validate the pool options before shipping them to the workers.
-        resolve_evaluator_factory(evaluator_factory, devices=devices, pinned=pinned)
+        resolve_evaluator_factory(
+            evaluator_factory, devices=devices, pinned=pinned, topology=topology
+        )
 
     problem = make_table_instance(spec, trial=0)
     neighborhood = KHammingNeighborhood(problem.n, order)
@@ -416,6 +467,8 @@ def run_ppp_experiment(
     # paths overwrite these with the actual per-context accounting below.
     if isinstance(evaluator_factory, str) and evaluator_factory in ("gpu", "multi-gpu"):
         row.pinned = pinned
+        if topology is not None:
+            row.topology = topology
         if evaluator_factory == "multi-gpu":
             row.num_devices = devices if devices is not None else 2
 
@@ -431,13 +484,16 @@ def run_ppp_experiment(
                 pool.submit(
                     _run_single_trial, (spec.m, spec.n), order, max_iterations, tenure,
                     seeds[trial], trial, evaluator_name, transfer_mode, devices, pinned,
+                    topology,
                 )
                 for trial in range(trials)
             ]
             row.trials.extend(future.result() for future in futures)
         return row
 
-    factory = resolve_evaluator_factory(evaluator_factory, devices=devices, pinned=pinned)
+    factory = resolve_evaluator_factory(
+        evaluator_factory, devices=devices, pinned=pinned, topology=topology
+    )
     evaluator: NeighborhoodEvaluator = factory(problem, neighborhood)
 
     if trial_mode == "batched":

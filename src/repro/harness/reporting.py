@@ -61,13 +61,16 @@ def format_experiment_table(
     include_acceleration: bool = True,
     include_transfers: bool | None = None,
     include_devices: bool | None = None,
+    include_interconnect: bool | None = None,
 ) -> str:
     """Format one reproduced table in the paper's column layout.
 
     ``include_transfers`` appends the device-pipeline columns (transfer
     mode, PCIe traffic, pinned staging, stream-overlap savings);
     ``include_devices`` appends the multi-GPU scheduler columns (pool size,
-    peer-routed traffic, cross-device overlap).  Both default to appearing
+    peer-routed traffic, cross-device overlap); ``include_interconnect``
+    appends the contention columns of the interconnect engine (topology,
+    shared-uplink busy time, arbitration stalls).  All default to appearing
     automatically when any row carries the corresponding accounting.
     """
     if include_transfers is None:
@@ -75,6 +78,15 @@ def format_experiment_table(
     if include_devices is None:
         include_devices = any(
             row.num_devices > 1 or row.p2p_bytes for row in rows
+        )
+    if include_interconnect is None:
+        # Rows from parallel trial mode carry the topology *configuration*
+        # but no engine accounting (sim_elapsed_s == 0); showing zero busy
+        # times for them would present fabricated measurements.
+        include_interconnect = any(
+            (row.topology != "dedicated" and row.sim_elapsed_s > 0.0)
+            or row.contention_stall_s > 0.0
+            for row in rows
         )
     headers = [
         "Problem",
@@ -90,6 +102,8 @@ def format_experiment_table(
         headers.extend(["Mode", "Pinned", "H2D", "D2H", "Launches", "Overlap saved"])
     if include_devices:
         headers.extend(["Devices", "P2P", "Device overlap"])
+    if include_interconnect:
+        headers.extend(["Topology", "Uplink busy", "Contention stall"])
     body = []
     for row in rows:
         cells = [
@@ -116,6 +130,12 @@ def format_experiment_table(
                 str(row.num_devices),
                 format_bytes(row.p2p_bytes),
                 format_time(row.cross_device_overlap_s),
+            ])
+        if include_interconnect:
+            cells.extend([
+                row.topology,
+                f"{format_time(row.uplink_busy_s)} ({row.uplink_utilization:.0%})",
+                format_time(row.contention_stall_s),
             ])
         body.append(cells)
     table = render_markdown_table(headers, body)
