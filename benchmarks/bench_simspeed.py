@@ -1,0 +1,178 @@
+"""Benchmark: host wall-clock of the simulator itself, per transfer mode.
+
+The simulator's value is measured in *simulated* seconds, but its usability
+is measured in *host* seconds: the paper-protocol pipeline bench (50 batched
+tabu trials, 2-Hamming, 40 lockstep iterations) used to take ~12-14 s of
+host time per transfer mode.  This benchmark tracks that wall clock after
+the hot-loop rework — precompiled PPP delta evaluators, cached kernel move
+tables and array-backed timeline accounting — against the recorded
+pre-change numbers, and reports lockstep iterations per second.
+
+The speedup is pure host-side engineering: every run stays bit-identical to
+the slow path (same seeds -> same trajectories, byte counters and simulated
+makespans), which ``tests/localsearch/test_fastpath_identity.py`` enforces.
+
+Run as a script (``python benchmarks/bench_simspeed.py [--smoke]``) or via
+``pytest benchmarks/bench_simspeed.py --benchmark-only``.  Both entry points
+write ``benchmarks/BENCH_simspeed.json``.  With ``--smoke`` the script also
+acts as a CI regression guard: it exits non-zero when the smoke wall clock
+regresses more than 2x over the recorded smoke baseline.
+"""
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.harness import run_ppp_experiment
+from repro.localsearch import TRANSFER_MODES
+
+#: Paper-protocol configuration (matches bench_pipeline).
+SPEC = (73, 73)
+ORDER = 2
+TRIALS = 50
+MAX_ITERATIONS = 40
+
+#: Reduced configuration for CI smoke runs.
+SMOKE_TRIALS = 20
+SMOKE_MAX_ITERATIONS = 8
+
+JSON_PATH = Path(__file__).resolve().parent / "BENCH_simspeed.json"
+
+#: Pre-change wall clocks of the full 50-trial protocol, measured on the
+#: reference machine immediately before the hot-loop rework (same workload,
+#: same interpreter).  Kept in the report so the JSON always shows the
+#: before/after pair the speedup claims are made against.
+PRE_CHANGE_WALL_S = {
+    "full": 13.780,
+    "delta": 11.790,
+    "reduced": 12.241,
+    "persistent": 12.226,
+}
+
+#: Recorded post-change smoke wall clocks (reference machine).  The CI guard
+#: fails when a smoke run takes more than ``GUARD_FACTOR`` times this.
+SMOKE_BASELINE_WALL_S = {
+    "full": 0.15,
+    "delta": 0.15,
+    "reduced": 0.15,
+    "persistent": 0.15,
+}
+GUARD_FACTOR = 2.0
+
+
+def run_mode(mode: str, trials: int, max_iterations: int) -> dict:
+    """One batched GPU experiment under ``mode``; wall-clock accounting only."""
+    start = time.perf_counter()
+    row = run_ppp_experiment(
+        SPEC,
+        ORDER,
+        trials=trials,
+        max_iterations=max_iterations,
+        evaluator_factory="gpu",
+        trial_mode="batched",
+        transfer_mode=mode,
+    )
+    wall_s = time.perf_counter() - start
+    lockstep_iterations = max(int(round(row.mean_iterations)), 1) + 1  # + initial block
+    return {
+        "wall_s": wall_s,
+        "eval_wall_s": row.eval_wall_s,
+        "host_overhead_s": max(0.0, wall_s - row.eval_wall_s),
+        "iterations_per_s": lockstep_iterations / wall_s,
+        "mean_iterations": row.mean_iterations,
+        "sim_elapsed_s": row.sim_elapsed_s,
+        "kernel_launches": row.kernel_launches,
+        "h2d_bytes": row.h2d_bytes,
+        "d2h_bytes": row.d2h_bytes,
+    }
+
+
+def measure(*, smoke: bool = False) -> dict:
+    trials = SMOKE_TRIALS if smoke else TRIALS
+    max_iterations = SMOKE_MAX_ITERATIONS if smoke else MAX_ITERATIONS
+    modes = {mode: run_mode(mode, trials, max_iterations) for mode in TRANSFER_MODES}
+    payload = {
+        "benchmark": "simulator_wall_clock",
+        "instance": {"m": SPEC[0], "n": SPEC[1], "order": ORDER},
+        "trials": trials,
+        "max_iterations": max_iterations,
+        "smoke": smoke,
+        "modes": modes,
+        "guard_factor": GUARD_FACTOR,
+    }
+    if smoke:
+        payload["smoke_baseline_wall_s"] = SMOKE_BASELINE_WALL_S
+    else:
+        payload["pre_change_wall_s"] = PRE_CHANGE_WALL_S
+        payload["speedup"] = {
+            mode: PRE_CHANGE_WALL_S[mode] / modes[mode]["wall_s"]
+            for mode in TRANSFER_MODES
+        }
+    return payload
+
+
+def write_json(payload: dict, path: Path = JSON_PATH) -> None:
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+
+def check_guard(payload: dict) -> list[str]:
+    """Smoke regression guard: wall clock must stay within GUARD_FACTOR of baseline."""
+    failures = []
+    for mode, baseline in SMOKE_BASELINE_WALL_S.items():
+        wall = payload["modes"][mode]["wall_s"]
+        if wall > GUARD_FACTOR * baseline:
+            failures.append(
+                f"{mode}: smoke wall {wall:.3f}s exceeds {GUARD_FACTOR:.0f}x "
+                f"baseline {baseline:.3f}s"
+            )
+    return failures
+
+
+@pytest.mark.benchmark(group="simspeed")
+def test_simulator_wall_clock(benchmark):
+    """The smoke protocol stays within the regression guard in every mode."""
+    payload = benchmark.pedantic(
+        lambda: measure(smoke=True), rounds=1, iterations=1, warmup_rounds=0
+    )
+    benchmark.extra_info.update(payload["modes"])
+    assert not check_guard(payload)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="small configuration for CI (also enables the guard)")
+    parser.add_argument("--json", type=Path, default=JSON_PATH,
+                        help="where to write the machine-readable results")
+    args = parser.parse_args()
+    payload = measure(smoke=args.smoke)
+    print(f"simulator wall clock: {payload['trials']} trials, "
+          f"cap {payload['max_iterations']} iterations")
+    header = (f"{'mode':<10} {'wall':>9} {'eval':>9} {'overhead':>9} "
+              f"{'iters/s':>9}" + ("" if args.smoke else f" {'before':>9} {'speedup':>8}"))
+    print(header)
+    for mode in TRANSFER_MODES:
+        result = payload["modes"][mode]
+        line = (f"{mode:<10} {result['wall_s']:>8.3f}s {result['eval_wall_s']:>8.3f}s "
+                f"{result['host_overhead_s']:>8.3f}s {result['iterations_per_s']:>9.1f}")
+        if not args.smoke:
+            line += (f" {PRE_CHANGE_WALL_S[mode]:>8.3f}s"
+                     f" {payload['speedup'][mode]:>7.1f}x")
+        print(line)
+    write_json(payload, args.json)
+    print(f"wrote {args.json}")
+    if args.smoke:
+        failures = check_guard(payload)
+        if failures:
+            for failure in failures:
+                print(f"REGRESSION: {failure}", file=sys.stderr)
+            raise SystemExit(1)
+        print("smoke guard passed")
+
+
+if __name__ == "__main__":
+    main()

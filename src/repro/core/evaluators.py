@@ -690,7 +690,13 @@ class GPUEvaluator(NeighborhoodEvaluator):
         """Admissibility of the rows' moves, read from the device tabu memory."""
         if self._tabu_tenure == 0:
             return np.ones((rows.size, num_indices), dtype=bool)
-        return (stamps[:, None] - self._tabu_last_applied[rows]) > self._tabu_tenure
+        last = self._tabu_last_applied
+        # ``rows`` is sorted and unique (it comes from np.nonzero), so a
+        # full-range check identifies the every-replica-active fast case and
+        # skips the O(S·M) gather copy.
+        if not (rows.size == last.shape[0] and rows[0] == 0 and rows[-1] == rows.size - 1):
+            last = last[rows]
+        return (stamps[:, None] - last) > self._tabu_tenure
 
     def _resident_tabu_select(
         self,

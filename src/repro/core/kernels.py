@@ -12,6 +12,8 @@ the NumPy batch equivalent used for fast execution.
 
 from __future__ import annotations
 
+import inspect
+
 import numpy as np
 
 from ..gpu.kernel import Kernel, ThreadContext
@@ -92,7 +94,22 @@ def build_neighborhood_kernel(
             move = mapping.from_flat(move_index)
             fitnesses[move_index] = problem.delta_evaluate(solution, move)
 
+    # The full move table is a pure function of the neighborhood: build it
+    # once per kernel instead of re-deriving it every launch, and freeze it so
+    # problems can cache per-table preprocessing keyed on its identity.
+    full_moves: list[np.ndarray | None] = [None]
+
+    def _full_moves() -> np.ndarray:
+        if full_moves[0] is None:
+            moves = mapping.from_flat_batch(np.arange(size, dtype=np.int64))
+            moves.setflags(write=False)
+            full_moves[0] = moves
+        return full_moves[0]
+
     def vectorized_fn(tids: np.ndarray, solution: np.ndarray, fitnesses: np.ndarray) -> None:
+        if tids.size == size and tids.size and tids[0] == 0 and tids[-1] == size - 1:
+            fitnesses[:size] = problem.evaluate_neighborhood(solution, _full_moves())
+            return
         moves = mapping.from_flat_batch(tids)
         fitnesses[tids] = problem.evaluate_neighborhood(solution, moves)
 
@@ -135,12 +152,35 @@ def build_batch_neighborhood_kernel(
             move = mapping.from_flat(move_index)
             fitnesses[tid] = problem.delta_evaluate(solutions[replica], move)
 
+    # Launch-invariant state, computed once: the full move table (frozen so
+    # the problem can cache per-table preprocessing keyed on its identity)
+    # and whether the problem's batch evaluation can write output in place.
+    full_moves: list[np.ndarray | None] = [None]
+    accepts_out = "out" in inspect.signature(problem.evaluate_neighborhood_batch).parameters
+
+    def _full_moves() -> np.ndarray:
+        if full_moves[0] is None:
+            moves = mapping.from_flat_batch(np.arange(size, dtype=np.int64))
+            moves.setflags(write=False)
+            full_moves[0] = moves
+        return full_moves[0]
+
     def vectorized_fn(tids: np.ndarray, solutions: np.ndarray, fitnesses: np.ndarray) -> None:
         num_solutions = solutions.shape[0]
-        if tids.size == num_solutions * size and tids.size:
+        total = num_solutions * size
+        if tids.size == total and tids.size:
             # Full batch: one broadcast delta evaluation over all replicas.
-            moves = mapping.from_flat_batch(np.arange(size, dtype=np.int64))
-            fitnesses[tids] = problem.evaluate_neighborhood_batch(solutions, moves).ravel()
+            # The launcher hands us a contiguous id range, so the scores land
+            # in the output buffer without an S*M fancy-index scatter.
+            moves = _full_moves()
+            if tids[0] == 0 and tids[-1] == total - 1:
+                view = fitnesses[:total].reshape(num_solutions, size)
+                if accepts_out and view.flags.c_contiguous:
+                    problem.evaluate_neighborhood_batch(solutions, moves, out=view)
+                else:
+                    view[...] = problem.evaluate_neighborhood_batch(solutions, moves)
+            else:
+                fitnesses[tids] = problem.evaluate_neighborhood_batch(solutions, moves).ravel()
             return
         # Partial coverage (e.g. a multi-device slice of the flat index
         # space): evaluate each replica's contiguous run of neighbors.

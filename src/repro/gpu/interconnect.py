@@ -48,7 +48,7 @@ from typing import Sequence
 
 from .device import DeviceSpec
 from .memory import HostMemoryKind
-from .streams import StreamInterval, Timeline
+from .streams import Timeline
 
 __all__ = [
     "Link",
@@ -748,15 +748,13 @@ class TransferEngine:
             self._load(link, channel).commit(grant.start, grant.end, float(request.nbytes))
             if link.shared:
                 stream = self.timeline.stream(link.name)
-                interval = StreamInterval(
-                    stream=link.name,
-                    kind=request.direction,
-                    name=request.label or f"{request.device}:{request.direction}",
-                    start=grant.start,
-                    end=grant.end,
+                stream.append_interval(
+                    request.direction,
+                    request.label or f"{request.device}:{request.direction}",
+                    grant.start,
+                    grant.end,
                 )
-                stream.intervals.append(interval)
-                stream.cursor = max(stream.cursor, interval.end)
+                stream.cursor = max(stream.cursor, grant.end)
 
     # ------------------------------------------------------------------
     # Accounting

@@ -134,6 +134,9 @@ class Kernel:
         self.thread_fn = thread_fn
         self.vectorized_fn = vectorized_fn
         self.cost = cost
+        # Grow-only cache of the active-thread id range: re-allocating the
+        # arange on every launch is measurable in the lockstep hot loop.
+        self._tids = np.empty(0, dtype=np.int64)
 
     # ------------------------------------------------------------------
     def launch_config(
@@ -166,8 +169,10 @@ class Kernel:
         if mode is ExecutionMode.VECTORIZED:
             if self.vectorized_fn is None:
                 raise ValueError(f"kernel {self.name!r} has no vectorized implementation")
-            tids = np.arange(active, dtype=np.int64)
-            self.vectorized_fn(tids, *args)
+            if active > self._tids.size:
+                self._tids = np.arange(active, dtype=np.int64)
+                self._tids.setflags(write=False)
+            self.vectorized_fn(self._tids[:active], *args)
         else:
             if self.thread_fn is None:
                 raise ValueError(f"kernel {self.name!r} has no per-thread implementation")

@@ -24,6 +24,7 @@ Two issue models coexist:
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -68,6 +69,11 @@ class DeviceStats:
     #: Fused on-device reductions (argmin epilogues of the resident pipeline).
     reductions: int = 0
     reduction_time: float = 0.0
+    #: *Host* wall-clock seconds spent executing kernel bodies functionally
+    #: (NumPy work inside ``kernel.execute``).  This is real measured time,
+    #: not simulated time — the harness uses it to split a run's wall clock
+    #: into evaluation math vs simulator bookkeeping.
+    host_eval_time: float = 0.0
     launch_records: list[KernelLaunch] = field(default_factory=list)
 
     @property
@@ -91,6 +97,7 @@ class DeviceStats:
         self.p2p_time = 0.0
         self.reductions = 0
         self.reduction_time = 0.0
+        self.host_eval_time = 0.0
         self.launch_records.clear()
 
 
@@ -199,9 +206,11 @@ class DeviceLoop:
         if total_active <= 0:
             raise ValueError(f"active_threads must be positive, got {active_threads}")
         cfg = self.kernel.launch_config(total_active, self.block_size)
+        eval_start = time.perf_counter()
         self.kernel.execute(
             cfg, args, active_threads=total_active, mode=self.context.mode
         )
+        self.context.stats.host_eval_time += time.perf_counter() - eval_start
         breakdown = self.context.timing.kernel_time(
             cfg, cost if cost is not None else self.kernel.cost, active_threads=total_active
         )
@@ -491,7 +500,9 @@ class GPUContext:
                 f"launch configuration provides {cfg.total_threads} threads but "
                 f"{total_active} are required"
             )
+        eval_start = time.perf_counter()
         kernel.execute(cfg, args, active_threads=total_active, mode=self.mode)
+        self.stats.host_eval_time += time.perf_counter() - eval_start
         breakdown = self.timing.kernel_time(
             cfg, cost if cost is not None else kernel.cost, active_threads=total_active
         )

@@ -35,7 +35,6 @@ from .streams import (
     DOWNLOAD_STREAM,
     Event,
     Stream,
-    StreamInterval,
     Timeline,
 )
 from .timing import KernelCostProfile
@@ -62,16 +61,7 @@ def merge_timelines(
         for name, stream in timeline.streams.items():
             label = f"{prefix}:{name}"
             view = Stream(name=label, cursor=stream.cursor)
-            view.intervals = [
-                StreamInterval(
-                    stream=label,
-                    kind=interval.kind,
-                    name=interval.name,
-                    start=interval.start,
-                    end=interval.end,
-                )
-                for interval in stream.intervals
-            ]
+            view.copy_records_from(stream)
             merged.streams[label] = view
     return merged
 

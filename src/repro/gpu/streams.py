@@ -18,7 +18,7 @@ API strictly generalizes it.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 __all__ = [
     "StreamInterval",
@@ -67,13 +67,38 @@ class Event:
     time: float
 
 
-@dataclass
 class Stream:
-    """An in-order queue of device operations with its own clock."""
+    """An in-order queue of device operations with its own clock.
 
-    name: str
-    cursor: float = 0.0
-    intervals: list[StreamInterval] = field(default_factory=list)
+    Interval records are kept as parallel columns (kind/name/start/end) with
+    a running busy-time accumulator: the hot loop appends thousands of
+    operations per run, and materializing a :class:`StreamInterval` object
+    per operation dominated the accounting cost.  The object view is built
+    lazily through the :attr:`intervals` property only when a report asks.
+    """
+
+    __slots__ = ("name", "cursor", "_kinds", "_names", "_starts", "_ends", "_busy")
+
+    def __init__(self, name: str, cursor: float = 0.0) -> None:
+        self.name = name
+        self.cursor = cursor
+        self._kinds: list[str] = []
+        self._names: list[str] = []
+        self._starts: list[float] = []
+        self._ends: list[float] = []
+        self._busy = 0.0
+
+    def append_interval(self, kind: str, name: str, start: float, end: float) -> None:
+        """Record one operation without materializing an interval object.
+
+        Does not touch :attr:`cursor` — callers that manage their own stream
+        clock (the interconnect's arbitrated transfers) update it themselves.
+        """
+        self._kinds.append(kind)
+        self._names.append(name)
+        self._starts.append(start)
+        self._ends.append(end)
+        self._busy += end - start
 
     def schedule(
         self, kind: str, name: str, duration: float, *, not_before: float = 0.0
@@ -90,7 +115,7 @@ class Stream:
             stream=self.name, kind=kind, name=name, start=start, end=start + duration
         )
         self.cursor = interval.end
-        self.intervals.append(interval)
+        self.append_interval(kind, name, start, interval.end)
         return interval
 
     def record_event(self) -> Event:
@@ -98,9 +123,48 @@ class Stream:
         return Event(stream=self.name, time=self.cursor)
 
     @property
+    def num_intervals(self) -> int:
+        """Number of recorded operations — O(1), no materialization."""
+        return len(self._starts)
+
+    @property
     def busy_time(self) -> float:
-        """Total time this stream spent executing operations."""
-        return sum(interval.duration for interval in self.intervals)
+        """Total time this stream spent executing operations — O(1)."""
+        return self._busy
+
+    @property
+    def intervals(self) -> list[StreamInterval]:
+        """The recorded operations as interval objects (built on demand).
+
+        This is a *snapshot*: mutating the returned list does not alter the
+        stream's records.  Use :meth:`append_interval` / :meth:`schedule` to
+        add operations.
+        """
+        return [
+            StreamInterval(stream=self.name, kind=kind, name=name, start=start, end=end)
+            for kind, name, start, end in zip(
+                self._kinds, self._names, self._starts, self._ends
+            )
+        ]
+
+    @intervals.setter
+    def intervals(self, records: list[StreamInterval]) -> None:
+        self._kinds = [interval.kind for interval in records]
+        self._names = [interval.name for interval in records]
+        self._starts = [interval.start for interval in records]
+        self._ends = [interval.end for interval in records]
+        self._busy = sum(interval.duration for interval in records)
+
+    def copy_records_from(self, other: "Stream") -> None:
+        """Append every record of ``other`` — column copies, no objects."""
+        self._kinds += other._kinds
+        self._names += other._names
+        self._starts += other._starts
+        self._ends += other._ends
+        # Accumulate per-operation (not += other._busy): keeps the float sum
+        # grouped exactly like a fresh sum over the concatenated records.
+        for start, end in zip(other._starts, other._ends):
+            self._busy += end - start
 
 
 class Timeline:
@@ -131,6 +195,11 @@ class Timeline:
     def overlap_saved(self) -> float:
         """Simulated time hidden by running streams concurrently."""
         return max(0.0, self.busy_time - self.elapsed)
+
+    @property
+    def num_intervals(self) -> int:
+        """Total recorded operations over all streams — O(1) per stream."""
+        return sum(stream.num_intervals for stream in self.streams.values())
 
     def intervals(self) -> list[StreamInterval]:
         """All recorded intervals, sorted by start time (then stream name)."""
@@ -193,7 +262,7 @@ def format_timeline(timeline: Timeline, *, limit: int | None = None) -> str:
     for name in sorted(timeline.streams):
         stream = timeline.streams[name]
         lines.append(
-            f"stream {name:<10} {len(stream.intervals):>6d} ops, "
+            f"stream {name:<10} {stream.num_intervals:>6d} ops, "
             f"busy {stream.busy_time * 1e3:.4f}ms, idle until {stream.cursor * 1e3:.4f}ms"
         )
     lines.append(

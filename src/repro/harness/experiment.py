@@ -169,6 +169,10 @@ class ExperimentRow:
     num_devices: int = 1
     #: Whether host transfers were staged through pinned memory.
     pinned: bool = False
+    #: *Measured host* wall-clock seconds spent in kernel bodies (the NumPy
+    #: evaluation math), summed over the pool.  Subtracting it from a bench's
+    #: measured wall time isolates the simulator's own bookkeeping overhead.
+    eval_wall_s: float = 0.0
     #: Total host<->device transfer time summed over the pool.
     transfer_time_s: float = 0.0
     #: What the recorded device work would cost serialized one device after
@@ -257,6 +261,7 @@ class ExperimentRow:
             "overlap_saved_s": self.overlap_saved_s,
             "num_devices": self.num_devices,
             "pinned": self.pinned,
+            "eval_wall_s": self.eval_wall_s,
             "transfer_time_s": self.transfer_time_s,
             "serialized_device_s": self.serialized_device_s,
             "cross_device_overlap_s": self.cross_device_overlap_s,
@@ -286,6 +291,7 @@ def _collect_transfer_stats(evaluator, row: ExperimentRow) -> None:
     row.overlap_saved_s = sum(ctx.timeline.overlap_saved for ctx in contexts)
     row.num_devices = len(contexts)
     row.pinned = any(ctx.pinned for ctx in contexts)
+    row.eval_wall_s = sum(ctx.stats.host_eval_time for ctx in contexts)
     row.transfer_time_s = sum(ctx.stats.transfer_time for ctx in contexts)
     row.serialized_device_s = sum(ctx.timeline.busy_time for ctx in contexts)
     row.device_elapsed_s = [ctx.timeline.elapsed for ctx in contexts]

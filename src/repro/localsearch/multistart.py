@@ -356,7 +356,10 @@ class MultiStartRunner:
         wall_share = np.zeros(num_replicas, dtype=np.float64)
         active = np.ones(num_replicas, dtype=bool)
         reasons = np.array(["max_iterations"] * num_replicas, dtype=object)
-        histories: list[list[float]] = [[] for _ in range(num_replicas)]
+        # Per-lockstep (movers, best-so-far) snapshots; the per-replica
+        # history lists are assembled vectorized after the loop instead of
+        # appending row by row inside it.
+        history_steps: list[tuple[np.ndarray, np.ndarray]] = []
 
         resident = self.transfer_mode != "full"
         reduced_path = self.transfer_mode in REDUCED_SELECTION_MODES
@@ -463,14 +466,27 @@ class MultiStartRunner:
                 best_fitness[improved_rows] = current_fitness[improved_rows]
                 iterations[movers] += 1
                 if self.track_history:
-                    for row in movers:
-                        histories[row].append(float(best_fitness[row]))
+                    history_steps.append((movers, best_fitness[movers]))
             wall_share[active_idx] += (
                 time.perf_counter() - step_wall
             ) / active_idx.size
 
         if resident:
             self.evaluator.end_search()
+
+        histories: list[list[float]] = [[] for _ in range(num_replicas)]
+        if history_steps:
+            # Group the flat (replica, value) stream by replica in one stable
+            # sort; within a replica the lockstep order is preserved, so each
+            # list matches what per-iteration appends would have produced.
+            rows = np.concatenate([movers for movers, _ in history_steps])
+            values = np.concatenate([vals for _, vals in history_steps])
+            order = np.argsort(rows, kind="stable")
+            rows, values = rows[order], values[order]
+            bounds = np.searchsorted(rows, np.arange(num_replicas + 1))
+            histories = [
+                values[bounds[r] : bounds[r + 1]].tolist() for r in range(num_replicas)
+            ]
 
         results = [
             LSResult(
