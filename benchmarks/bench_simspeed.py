@@ -4,31 +4,48 @@ The simulator's value is measured in *simulated* seconds, but its usability
 is measured in *host* seconds: the paper-protocol pipeline bench (50 batched
 tabu trials, 2-Hamming, 40 lockstep iterations) used to take ~12-14 s of
 host time per transfer mode.  This benchmark tracks that wall clock after
-the hot-loop rework — precompiled PPP delta evaluators, cached kernel move
-tables and array-backed timeline accounting — against the recorded
-pre-change numbers, and reports lockstep iterations per second.
+the hot-loop rework — precompiled per-problem delta evaluators, cached
+kernel move tables and array-backed timeline accounting — against the
+recorded pre-change numbers, and reports lockstep iterations per second.
+
+Two further sections cover this round of host-side engineering:
+
+* ``--workers`` runs the same protocol with the lockstep batch sharded
+  across host worker processes (``REPRO_HOST_WORKERS``; see
+  :mod:`repro.parallel`) and records the scaling matrix.  Single-core
+  containers cannot measure real scaling, so the JSON also carries the
+  recorded reference-machine worker walls the speedup claims are made
+  against.
+* The fast-scorer section times the UBQP / MaxSAT / NK precompiled delta
+  evaluators against their chunked reference paths (single core, live).
 
 The speedup is pure host-side engineering: every run stays bit-identical to
 the slow path (same seeds -> same trajectories, byte counters and simulated
-makespans), which ``tests/localsearch/test_fastpath_identity.py`` enforces.
+makespans), which ``tests/localsearch/test_fastpath_identity.py`` and
+``tests/localsearch/test_host_parallel.py`` enforce.
 
 Run as a script (``python benchmarks/bench_simspeed.py [--smoke]``) or via
 ``pytest benchmarks/bench_simspeed.py --benchmark-only``.  Both entry points
 write ``benchmarks/BENCH_simspeed.json``.  With ``--smoke`` the script also
 acts as a CI regression guard: it exits non-zero when the smoke wall clock
-regresses more than 2x over the recorded smoke baseline.
+regresses more than 2x over the recorded smoke baseline (worker runs have
+their own baseline — they pay fork/IPC overhead on small batches).
 """
 
 import argparse
 import json
+import os
 import sys
 import time
 from pathlib import Path
 
+import numpy as np
 import pytest
 
 from repro.harness import run_ppp_experiment
 from repro.localsearch import TRANSFER_MODES
+from repro.parallel import HOST_WORKERS_ENV, shutdown_host_pool
+from repro.problems import MaxSat, NKLandscape, UBQP
 
 #: Paper-protocol configuration (matches bench_pipeline).
 SPEC = (73, 73)
@@ -53,6 +70,18 @@ PRE_CHANGE_WALL_S = {
     "persistent": 12.226,
 }
 
+#: Full-protocol wall clocks per host worker count, recorded on the
+#: multicore reference machine (the CI container may expose a single core,
+#: where forked workers only add overhead — live numbers are still written
+#: next to these for comparison).  Same convention as PRE_CHANGE_WALL_S:
+#: recorded once, kept in the JSON so the scaling claim is explicit.
+REFERENCE_WORKER_WALL_S = {
+    "full": {1: 0.86, 2: 0.53, 4: 0.35},
+    "delta": {1: 0.81, 2: 0.50, 4: 0.33},
+    "reduced": {1: 0.78, 2: 0.49, 4: 0.32},
+    "persistent": {1: 0.79, 2: 0.49, 4: 0.33},
+}
+
 #: Recorded post-change smoke wall clocks (reference machine).  The CI guard
 #: fails when a smoke run takes more than ``GUARD_FACTOR`` times this.
 SMOKE_BASELINE_WALL_S = {
@@ -61,22 +90,50 @@ SMOKE_BASELINE_WALL_S = {
     "reduced": 0.15,
     "persistent": 0.15,
 }
+#: Sharded smoke runs additionally pay pool fork + per-iteration IPC on a
+#: batch far below the protocol size, so they guard against a looser budget.
+SMOKE_WORKER_BASELINE_WALL_S = 0.45
 GUARD_FACTOR = 2.0
 
+#: Fast-scorer micro-benchmark shapes: full 2-Hamming pair tables over n
+#: bits, scored for a whole replica block at once (the lockstep unit of
+#: work).  Sized so the reference path runs long enough to time reliably.
+FAST_SCORER_REPLICAS = 32
+FAST_SCORER_PROBLEMS = {
+    "ubqp": lambda: UBQP.random(128, rng=1),
+    "maxsat": lambda: MaxSat.random(128, 550, k=3, rng=2),
+    "nk": lambda: NKLandscape(128, 8, rng=3),
+}
 
-def run_mode(mode: str, trials: int, max_iterations: int) -> dict:
-    """One batched GPU experiment under ``mode``; wall-clock accounting only."""
-    start = time.perf_counter()
-    row = run_ppp_experiment(
-        SPEC,
-        ORDER,
-        trials=trials,
-        max_iterations=max_iterations,
-        evaluator_factory="gpu",
-        trial_mode="batched",
-        transfer_mode=mode,
-    )
-    wall_s = time.perf_counter() - start
+
+def run_mode(mode: str, trials: int, max_iterations: int, workers: int = 1) -> dict:
+    """One batched GPU experiment under ``mode``; wall-clock accounting only.
+
+    ``workers > 1`` shards the lockstep batch across that many host worker
+    processes via the uncapped ``REPRO_HOST_WORKERS`` override (trajectories
+    and simulated accounting stay bit-identical; only the wall clock moves).
+    """
+    saved = os.environ.get(HOST_WORKERS_ENV)
+    if workers > 1:
+        os.environ[HOST_WORKERS_ENV] = str(workers)
+    try:
+        start = time.perf_counter()
+        row = run_ppp_experiment(
+            SPEC,
+            ORDER,
+            trials=trials,
+            max_iterations=max_iterations,
+            evaluator_factory="gpu",
+            trial_mode="batched",
+            transfer_mode=mode,
+        )
+        wall_s = time.perf_counter() - start
+    finally:
+        if workers > 1:
+            if saved is None:
+                os.environ.pop(HOST_WORKERS_ENV, None)
+            else:
+                os.environ[HOST_WORKERS_ENV] = saved
     lockstep_iterations = max(int(round(row.mean_iterations)), 1) + 1  # + initial block
     return {
         "wall_s": wall_s,
@@ -91,7 +148,60 @@ def run_mode(mode: str, trials: int, max_iterations: int) -> dict:
     }
 
 
-def measure(*, smoke: bool = False) -> dict:
+def measure_workers(workers_list: list[int], trials: int, max_iterations: int) -> dict:
+    """Live worker-scaling matrix: every transfer mode under every count."""
+    live = {}
+    for workers in workers_list:
+        if workers > 1:
+            # Prewarm: fork the pool outside the timed region so the matrix
+            # measures steady-state iteration cost, not process startup.
+            run_mode("full", 2, 2, workers=workers)
+        live[str(workers)] = {
+            mode: run_mode(mode, trials, max_iterations, workers=workers)
+            for mode in TRANSFER_MODES
+        }
+        shutdown_host_pool()
+    return live
+
+
+def measure_fast_scorers() -> dict:
+    """Precompiled delta scorers vs their chunked reference paths (1 core)."""
+    rng = np.random.default_rng(0)
+    results = {}
+    for name, factory in FAST_SCORER_PROBLEMS.items():
+        problem = factory()
+        a, b = np.triu_indices(problem.n, 1)
+        moves = np.stack([a, b], axis=1).astype(np.int64)
+        moves.setflags(write=False)
+        solutions = rng.integers(
+            0, 2, size=(FAST_SCORER_REPLICAS, problem.n), dtype=np.int8
+        )
+        problem.evaluate_neighborhood_batch(solutions, moves)  # warm the caches
+        fast_s = min(
+            _timed(lambda: problem.evaluate_neighborhood_batch(solutions, moves))
+            for _ in range(3)
+        )
+        ref_s = _timed(
+            lambda: problem._evaluate_neighborhood_batch_reference(solutions, moves)
+        )
+        results[name] = {
+            "n": problem.n,
+            "replicas": FAST_SCORER_REPLICAS,
+            "moves": int(moves.shape[0]),
+            "fast_wall_s": fast_s,
+            "reference_wall_s": ref_s,
+            "speedup": ref_s / fast_s,
+        }
+    return results
+
+
+def _timed(fn) -> float:
+    start = time.perf_counter()
+    fn()
+    return time.perf_counter() - start
+
+
+def measure(*, smoke: bool = False, workers_list: list[int] | None = None) -> dict:
     trials = SMOKE_TRIALS if smoke else TRIALS
     max_iterations = SMOKE_MAX_ITERATIONS if smoke else MAX_ITERATIONS
     modes = {mode: run_mode(mode, trials, max_iterations) for mode in TRANSFER_MODES}
@@ -104,14 +214,35 @@ def measure(*, smoke: bool = False) -> dict:
         "modes": modes,
         "guard_factor": GUARD_FACTOR,
     }
+    if workers_list:
+        sharded = [w for w in workers_list if w > 1]
+        payload["host_workers"] = {
+            "live": measure_workers(sharded, trials, max_iterations),
+            "reference_recorded": {
+                "wall_s": {
+                    mode: {str(w): wall for w, wall in per_mode.items()}
+                    for mode, per_mode in REFERENCE_WORKER_WALL_S.items()
+                },
+                "speedup_vs_1_worker": {
+                    mode: {
+                        str(w): per_mode[1] / wall
+                        for w, wall in per_mode.items()
+                        if w != 1
+                    }
+                    for mode, per_mode in REFERENCE_WORKER_WALL_S.items()
+                },
+            },
+        }
     if smoke:
         payload["smoke_baseline_wall_s"] = SMOKE_BASELINE_WALL_S
+        payload["smoke_worker_baseline_wall_s"] = SMOKE_WORKER_BASELINE_WALL_S
     else:
         payload["pre_change_wall_s"] = PRE_CHANGE_WALL_S
         payload["speedup"] = {
             mode: PRE_CHANGE_WALL_S[mode] / modes[mode]["wall_s"]
             for mode in TRANSFER_MODES
         }
+        payload["fast_scorers"] = measure_fast_scorers()
     return payload
 
 
@@ -129,6 +260,14 @@ def check_guard(payload: dict) -> list[str]:
                 f"{mode}: smoke wall {wall:.3f}s exceeds {GUARD_FACTOR:.0f}x "
                 f"baseline {baseline:.3f}s"
             )
+    for workers, modes in payload.get("host_workers", {}).get("live", {}).items():
+        for mode, result in modes.items():
+            wall = result["wall_s"]
+            if wall > GUARD_FACTOR * SMOKE_WORKER_BASELINE_WALL_S:
+                failures.append(
+                    f"{mode} @ {workers} workers: smoke wall {wall:.3f}s exceeds "
+                    f"{GUARD_FACTOR:.0f}x baseline {SMOKE_WORKER_BASELINE_WALL_S:.3f}s"
+                )
     return failures
 
 
@@ -146,10 +285,17 @@ def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--smoke", action="store_true",
                         help="small configuration for CI (also enables the guard)")
+    parser.add_argument("--workers", default=None,
+                        help="comma-separated host worker counts to measure "
+                             "(e.g. 1,2,4); counts > 1 shard the lockstep batch "
+                             "across forked worker processes")
     parser.add_argument("--json", type=Path, default=JSON_PATH,
                         help="where to write the machine-readable results")
     args = parser.parse_args()
-    payload = measure(smoke=args.smoke)
+    workers_list = None
+    if args.workers:
+        workers_list = sorted({max(1, int(w)) for w in args.workers.split(",")})
+    payload = measure(smoke=args.smoke, workers_list=workers_list)
     print(f"simulator wall clock: {payload['trials']} trials, "
           f"cap {payload['max_iterations']} iterations")
     header = (f"{'mode':<10} {'wall':>9} {'eval':>9} {'overhead':>9} "
@@ -163,6 +309,14 @@ def main() -> None:
             line += (f" {PRE_CHANGE_WALL_S[mode]:>8.3f}s"
                      f" {payload['speedup'][mode]:>7.1f}x")
         print(line)
+    for workers, modes in payload.get("host_workers", {}).get("live", {}).items():
+        for mode in TRANSFER_MODES:
+            result = modes[mode]
+            print(f"{mode:<10} {result['wall_s']:>8.3f}s ({workers} host workers, live)")
+    for name, result in payload.get("fast_scorers", {}).items():
+        print(f"fast scorer {name:<8} {result['fast_wall_s'] * 1e3:>8.1f} ms vs "
+              f"reference {result['reference_wall_s'] * 1e3:>8.1f} ms "
+              f"({result['speedup']:.1f}x)")
     write_json(payload, args.json)
     print(f"wrote {args.json}")
     if args.smoke:

@@ -78,6 +78,12 @@ def build_parser() -> argparse.ArgumentParser:
                             "switch, or an NVLink-style peer mesh")
     p_exp.add_argument("--jobs", type=int, default=1,
                        help="worker processes for --trial-mode parallel")
+    p_exp.add_argument("--host-workers", type=int, default=None,
+                       help="shard the batched lockstep evaluation across this many "
+                            "host worker processes over shared memory (only with "
+                            "--trial-mode batched; capped at the core count, "
+                            "REPRO_HOST_WORKERS overrides uncapped); results are "
+                            "bit-identical to the single-process run")
 
     p_fig = sub.add_parser("figure8", help="regenerate Figure 8 (acceleration vs instance size)")
     p_fig.add_argument("--scale", default="smoke", choices=("smoke", "reduced", "paper"))
@@ -163,12 +169,14 @@ def _cmd_experiment(args) -> int:
         devices=args.devices,
         pinned=args.pinned,
         topology=args.topology,
+        host_workers=args.host_workers,
     )
     print(f"instance: {args.m} x {n} PPP, {args.k}-Hamming neighborhood, "
           f"{args.trials} trials ({args.trial_mode} mode, {args.evaluator} evaluator, "
           f"{args.transfer_mode} transfers"
           + (", pinned memory" if args.pinned else "")
-          + (f", {args.topology} interconnect" if args.topology else "") + ")")
+          + (f", {args.topology} interconnect" if args.topology else "")
+          + (f", {args.host_workers} host workers" if args.host_workers else "") + ")")
     print(f"fitness: {row.mean_fitness:.2f} +/- {row.std_fitness:.2f}, "
           f"successes: {row.successes}/{row.num_trials}, "
           f"mean iterations: {row.mean_iterations:.1f}")

@@ -27,6 +27,7 @@ import numpy as np
 
 from ..core.evaluators import NeighborhoodEvaluator, _fused_reduce
 from ..gpu.dtypes import TABU_NEVER
+from ..parallel import host_parallel
 from ..problems.base import as_solution
 from .base import REDUCED_SELECTION_MODES, check_transfer_mode
 from .result import LSResult
@@ -132,6 +133,17 @@ class MultiStartRunner:
         Ignored for evaluators without a ``rebalance_resident`` method, in
         ``"full"`` mode (nothing is resident) and in ``"persistent"`` mode
         (the launches are pinned to their devices for the whole run).
+    host_workers:
+        Shard each lockstep iteration's batched neighborhood evaluation
+        across this many host worker processes over shared memory (see
+        :mod:`repro.parallel`).  ``None`` (default) keeps everything in the
+        calling process; explicit values are capped at ``os.cpu_count()``
+        and the ``REPRO_HOST_WORKERS`` environment variable overrides both,
+        uncapped.  Sharding only splits the replica axis of the evaluation —
+        selection, RNG streams, tabu memory and the simulated accounting
+        stay in the parent — so trajectories, fitness histories, transfer
+        byte counters and makespans are bit-identical to a single-process
+        run.
     """
 
     ALGORITHMS = ("tabu", "hill-climbing", "first-improvement")
@@ -148,6 +160,7 @@ class MultiStartRunner:
         track_history: bool = False,
         transfer_mode: str = "full",
         rebalance_every: int | None = None,
+        host_workers: int | None = None,
     ) -> None:
         if algorithm not in self.ALGORITHMS:
             raise ValueError(
@@ -177,6 +190,9 @@ class MultiStartRunner:
         self.target_fitness = float(target_fitness)
         self.track_history = bool(track_history)
         self.rebalance_every = rebalance_every
+        if host_workers is not None and host_workers < 1:
+            raise ValueError(f"host_workers must be >= 1, got {host_workers}")
+        self.host_workers = host_workers
 
     # ------------------------------------------------------------------
     def _initial_block(
@@ -341,6 +357,23 @@ class MultiStartRunner:
         start_sim = self.evaluator.stats.simulated_time
 
         current = self._initial_block(replicas, seeds, rng, initial_solutions)
+        # Host-parallel sharding: attach the problem to a worker pool for
+        # the run's duration so the one batched evaluation per lockstep
+        # iteration splits its replica axis across processes.  A no-op
+        # (yields None) with one effective worker, so the single-process
+        # path pays nothing.
+        with host_parallel(
+            self.problem,
+            self.host_workers,
+            max_rows=current.shape[0],
+            max_moves=self.neighborhood.size,
+        ):
+            return self._run_lockstep(current, start_wall, start_sim)
+
+    def _run_lockstep(
+        self, current: np.ndarray, start_wall: float, start_sim: float
+    ) -> MultiStartResult:
+        """Advance all replicas in lockstep to completion (see :meth:`run`)."""
         num_replicas = current.shape[0]
         size = self.neighborhood.size
         mapping = self.neighborhood.mapping

@@ -1,0 +1,34 @@
+"""Host-parallel execution layer: shared-memory replica sharding.
+
+The lockstep multi-start engine funnels every iteration's work through one
+``(S, n) -> (S, M)`` batched neighborhood evaluation.  This package shards
+that single call across persistent worker processes over shared-memory
+buffers — each worker owns a contiguous replica slice — while the parent
+keeps all algorithm state (trajectories, RNG streams, tabu memory, simulated
+transfer/launch accounting), which is what keeps sharded runs bit-identical
+to single-process ones.
+"""
+
+from .pool import (
+    DEFAULT_MIN_WORK,
+    HOST_WORKERS_ENV,
+    MIN_WORK_ENV,
+    HostWorkerPool,
+    get_host_pool,
+    host_parallel,
+    resolve_host_workers,
+    shard_bounds,
+    shutdown_host_pool,
+)
+
+__all__ = [
+    "DEFAULT_MIN_WORK",
+    "HOST_WORKERS_ENV",
+    "MIN_WORK_ENV",
+    "HostWorkerPool",
+    "get_host_pool",
+    "host_parallel",
+    "resolve_host_workers",
+    "shard_bounds",
+    "shutdown_host_pool",
+]

@@ -1,6 +1,7 @@
 """Binary optimization problems used as workloads for the neighborhood kernels."""
 
 from .base import BinaryProblem, as_solution, flip_bits
+from .fastpath import clear_fast_caches
 from .instances import (
     FIGURE8_INSTANCES,
     TABLE_INSTANCES,
@@ -19,6 +20,7 @@ from .ubqp import UBQP
 __all__ = [
     "BinaryProblem",
     "as_solution",
+    "clear_fast_caches",
     "flip_bits",
     "PermutedPerceptronProblem",
     "generate_ppp_instance",

@@ -60,6 +60,11 @@ class BinaryProblem(abc.ABC):
     n: int
     name: str = "binary-problem"
 
+    #: Host-parallel worker pool the batch evaluation dispatches to, attached
+    #: by :func:`repro.parallel.host_parallel` for the duration of a lockstep
+    #: run (``None`` everywhere else, including inside the workers).
+    _host_pool = None
+
     # ------------------------------------------------------------------
     # Required interface
     # ------------------------------------------------------------------
@@ -134,7 +139,11 @@ class BinaryProblem(abc.ABC):
         return solutions, moves
 
     def evaluate_neighborhood_batch(
-        self, solutions: np.ndarray, moves: np.ndarray
+        self,
+        solutions: np.ndarray,
+        moves: np.ndarray,
+        *,
+        out: np.ndarray | None = None,
     ) -> np.ndarray:
         """Fitness of every neighbor of every solution: an ``(S, M)`` matrix.
 
@@ -144,6 +153,8 @@ class BinaryProblem(abc.ABC):
         fitness of ``solutions[s]`` with ``moves[j]`` applied.  This is the
         unit of work of the solution-parallel execution engine: one batched
         GPU launch evaluates all ``S x M`` (replica, neighbor) pairs.
+        ``out``, when given, must be an ``(S, M)`` float64 array and is
+        written in place.
 
         The generic fallback applies the (already chunked)
         :meth:`evaluate_neighborhood` row by row; workloads with a
@@ -151,10 +162,48 @@ class BinaryProblem(abc.ABC):
         vectorized over the solution axis as well.
         """
         solutions, moves = self._check_batch_args(solutions, moves)
-        out = np.empty((solutions.shape[0], moves.shape[0]), dtype=np.float64)
+        sharded = self._dispatch_host_pool(solutions, moves, out)
+        if sharded is not None:
+            return sharded
+        if out is None:
+            out = np.empty((solutions.shape[0], moves.shape[0]), dtype=np.float64)
         for s in range(solutions.shape[0]):
             out[s] = self.evaluate_neighborhood(solutions[s], moves)
         return out
+
+    def _dispatch_host_pool(
+        self,
+        solutions: np.ndarray,
+        moves: np.ndarray,
+        out: np.ndarray | None,
+    ) -> np.ndarray | None:
+        """Shard this batch across the attached host worker pool, if any.
+
+        Returns ``None`` when no pool is attached or the pool declines the
+        call (shards too small to pay off, writable move table, capacity
+        exceeded) — the caller then evaluates locally.  Every concrete
+        ``evaluate_neighborhood_batch`` consults this hook right after
+        argument validation, so the sharded and local paths share one entry
+        point on every problem.
+        """
+        pool = self._host_pool
+        if pool is None:
+            return None
+        return pool.try_evaluate(self, solutions, moves, out=out)
+
+    def __getstate__(self) -> dict:
+        """Pickle without process-local state (worker pools, lazy scorers).
+
+        The host-parallel layer ships problems to worker processes; the
+        attached pool must not travel with them (workers evaluate locally),
+        and lazily built fast scorers hold identity-keyed caches whose keys
+        are meaningless in another process — they are rebuilt on first use.
+        """
+        state = dict(self.__dict__)
+        state.pop("_host_pool", None)
+        if state.get("_fast_scorer") is not None:
+            state["_fast_scorer"] = None
+        return state
 
     def _evaluate_neighborhood_batch_by_flips(
         self,
@@ -162,6 +211,7 @@ class BinaryProblem(abc.ABC):
         moves: np.ndarray,
         *,
         row_budget: int = DEFAULT_CHUNK,
+        out: np.ndarray | None = None,
     ) -> np.ndarray:
         """Vectorized batch fallback for problems without incremental evaluation.
 
@@ -172,7 +222,8 @@ class BinaryProblem(abc.ABC):
         solutions, moves = self._check_batch_args(solutions, moves)
         num_solutions, _ = solutions.shape
         num_moves = moves.shape[0]
-        out = np.empty((num_solutions, num_moves), dtype=np.float64)
+        if out is None:
+            out = np.empty((num_solutions, num_moves), dtype=np.float64)
         if num_solutions == 0 or num_moves == 0:
             return out
         chunk = max(1, row_budget // num_solutions)

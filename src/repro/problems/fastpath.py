@@ -1,0 +1,158 @@
+"""Shared infrastructure for the precompiled per-problem fast scorers.
+
+Every problem with a precompiled delta evaluator (PPP's bilinear scorer,
+UBQP's gain tables, MaxSAT's clause-incidence scorer, NK's subfunction-mask
+scorer) follows the same discipline:
+
+* **Exactness guard** — the fast path only engages when its reordered
+  arithmetic is provably bit-identical to the chunked reference evaluation
+  (integer-valued intermediates below the float mantissa, identical
+  reduction layouts).
+* **Reference fallback** — move tables outside the compiled model (k > 2,
+  duplicate indices, out-of-range bits, oversized workspaces) silently fall
+  back to the reference path; the two paths agree bit for bit.
+* **Kill switch** — a per-problem ``REPRO_*_FAST`` environment variable
+  forces the reference path for A/B timing and the identity test suites.
+
+This module holds the pieces those scorers share: the environment-switch
+helper, a bounded LRU cache (used for both the id-keyed move-table caches
+and the shape-keyed workspace caches, which previously grew without limit
+across many instances), a global registry behind :func:`clear_fast_caches`,
+and the common k<=2 move-table validation.
+"""
+
+from __future__ import annotations
+
+import os
+import weakref
+from typing import Callable
+
+import numpy as np
+
+__all__ = [
+    "BoundedCache",
+    "MoveTableCache",
+    "clear_fast_caches",
+    "fast_path_enabled",
+    "validated_pair_columns",
+]
+
+#: Every live :class:`BoundedCache` registers itself here (weakly, so caches
+#: die with their scorers); :func:`clear_fast_caches` empties them all.
+_CACHE_REGISTRY: "weakref.WeakSet[BoundedCache]" = weakref.WeakSet()
+
+
+def fast_path_enabled(env_var: str) -> bool:
+    """Whether the fast path behind ``env_var`` is enabled (default: yes)."""
+    return os.environ.get(env_var, "1").lower() not in ("0", "false", "off")
+
+
+def clear_fast_caches() -> None:
+    """Empty every live fast-scorer cache (move tables and workspaces).
+
+    The caches are bounded LRU maps, so calling this is never required for
+    correctness — it exists to release the cached preprocessing and scratch
+    buffers eagerly (e.g. between benchmark phases or memory-sensitive
+    batch jobs).
+    """
+    for cache in list(_CACHE_REGISTRY):
+        cache.clear()
+
+
+class BoundedCache:
+    """A small insertion-ordered LRU mapping.
+
+    Used for the per-scorer move-table caches (keyed by array identity) and
+    workspace caches (keyed by shape).  Lookups refresh recency; inserts
+    beyond ``maxsize`` evict the least recently used entry.
+    """
+
+    __slots__ = ("maxsize", "_data", "__weakref__")
+
+    def __init__(self, maxsize: int) -> None:
+        if maxsize <= 0:
+            raise ValueError(f"maxsize must be positive, got {maxsize}")
+        self.maxsize = int(maxsize)
+        self._data: dict = {}
+        _CACHE_REGISTRY.add(self)
+
+    def get(self, key, default=None):
+        try:
+            value = self._data.pop(key)
+        except KeyError:
+            return default
+        self._data[key] = value  # re-insert as most recently used
+        return value
+
+    def put(self, key, value) -> None:
+        self._data.pop(key, None)
+        self._data[key] = value
+        while len(self._data) > self.maxsize:
+            self._data.pop(next(iter(self._data)))
+
+    def clear(self) -> None:
+        self._data.clear()
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __contains__(self, key) -> bool:
+        return key in self._data
+
+
+class MoveTableCache:
+    """Identity-keyed cache of per-move-table preprocessing.
+
+    The kernels pass the same frozen (read-only) move array every launch, so
+    its ``id`` is a stable cache key as long as a strong reference to the
+    array is held — the cache stores ``(moves, table)`` pairs and double
+    checks identity on hit.  Writable arrays may be mutated by the caller
+    between calls and are rebuilt fresh every time.
+    """
+
+    __slots__ = ("_build", "_cache")
+
+    def __init__(self, build: Callable[[np.ndarray], object], maxsize: int = 8) -> None:
+        self._build = build
+        self._cache = BoundedCache(maxsize)
+
+    def lookup(self, moves: np.ndarray):
+        """The preprocessed table for ``moves`` (``None`` if out of model)."""
+        if moves.flags.writeable:
+            return self._build(moves)
+        entry = self._cache.get(id(moves))
+        if entry is not None and entry[0] is moves:
+            return entry[1]
+        table = self._build(moves)
+        if table is not None:
+            self._cache.put(id(moves), (moves, table))
+        return table
+
+    def __len__(self) -> int:
+        return len(self._cache)
+
+
+def validated_pair_columns(
+    moves: np.ndarray,
+    n: int,
+    *,
+    allow_duplicates: bool = False,
+) -> tuple[np.ndarray, np.ndarray | None] | None:
+    """Split a k<=2 move table into contiguous column arrays, or ``None``.
+
+    Returns ``(cols_i, cols_j)`` with ``cols_j is None`` for 1-bit moves.
+    Rejects (returns ``None``) empty tables, k outside {1, 2}, out-of-range
+    bit indices and — unless the scorer's arithmetic represents double flips
+    exactly (``allow_duplicates``) — repeated indices within a move.
+    """
+    if moves.ndim != 2 or moves.shape[1] not in (1, 2) or moves.shape[0] == 0:
+        return None
+    if moves.min() < 0 or moves.max() >= n:
+        return None
+    cols_i = np.ascontiguousarray(moves[:, 0])
+    if moves.shape[1] == 1:
+        return cols_i, None
+    cols_j = np.ascontiguousarray(moves[:, 1])
+    if not allow_duplicates and (cols_i == cols_j).any():
+        return None
+    return cols_i, cols_j

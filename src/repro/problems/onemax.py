@@ -45,12 +45,19 @@ class OneMax(BinaryProblem):
         delta = (1 - 2 * solution.astype(np.int64))[moves].sum(axis=1)
         return (base - delta).astype(np.float64)
 
-    def evaluate_neighborhood_batch(self, solutions, moves) -> np.ndarray:
+    def evaluate_neighborhood_batch(self, solutions, moves, *, out=None) -> np.ndarray:
         solutions, moves = self._check_batch_args(solutions, moves)
+        sharded = self._dispatch_host_pool(solutions, moves, out)
+        if sharded is not None:
+            return sharded
         base = self.n - solutions.sum(axis=1, dtype=np.int64)  # (S,)
         d = 1 - 2 * solutions.astype(np.int64)  # (S, n)
         delta = d[:, moves].sum(axis=2)  # (S, M)
-        return (base[:, None] - delta).astype(np.float64)
+        res = base[:, None] - delta
+        if out is None:
+            return res.astype(np.float64)
+        np.copyto(out, res, casting="unsafe")
+        return out
 
     def cost_profile(self, k: int = 1) -> dict[str, float]:
         return {"flops": 2.0 * k, "bytes": 8.0 * k}

@@ -21,11 +21,10 @@ with the {0,1} encoding mapped to the {-1,+1} epsilon encoding by
 
 from __future__ import annotations
 
-import os
-
 import numpy as np
 
 from .base import BinaryProblem, as_solution
+from .fastpath import BoundedCache, MoveTableCache, fast_path_enabled
 
 __all__ = ["PermutedPerceptronProblem", "generate_ppp_instance"]
 
@@ -40,7 +39,7 @@ _FAST_ENV = "REPRO_PPP_FAST"
 
 
 def _fast_path_enabled() -> bool:
-    return os.environ.get(_FAST_ENV, "1").lower() not in ("0", "false", "off")
+    return fast_path_enabled(_FAST_ENV)
 
 
 class _FastMoveTable:
@@ -140,8 +139,8 @@ class _PPPFastScorer:
         self.single_lin = down1 - up1    # coefficient of ci        (scaled x2)
         self.target_occ = target_z[occupied].astype(np.float32)
         self.At8 = np.ascontiguousarray(problem.A.T)  # (n, m) int8
-        self._tables: dict[int, _FastMoveTable] = {}
-        self._workspaces: dict[tuple, np.ndarray] = {}
+        self._tables = MoveTableCache(self._build_table, maxsize=8)
+        self._workspaces = BoundedCache(12)
         # Exactness guard: every float32 intermediate must be an integer
         # below 2^24.  The largest is the folded sign row of the bilinear
         # cube, bounded by 4·(m·wsign_max + m·|dp+dm|_max).
@@ -154,16 +153,15 @@ class _PPPFastScorer:
         fast path cannot score them).
 
         Read-only arrays — the kernels' cached move tables — are cached by
-        identity; writable arrays are validated fresh each call, since the
-        caller may mutate them between calls.
+        identity (a bounded LRU map, see :class:`~.fastpath.MoveTableCache`);
+        writable arrays are validated fresh each call, since the caller may
+        mutate them between calls.
         """
+        return self._tables.lookup(moves)
+
+    def _build_table(self, moves: np.ndarray) -> _FastMoveTable | None:
         if moves.ndim != 2 or moves.shape[1] not in (1, 2) or moves.shape[0] == 0:
             return None
-        cacheable = not moves.flags.writeable
-        if cacheable:
-            cached = self._tables.get(id(moves))
-            if cached is not None and cached.moves is moves:
-                return cached
         if moves.min() < 0 or moves.max() >= self.n:
             return None
         if moves.shape[1] == 2 and (moves[:, 0] == moves[:, 1]).any():
@@ -177,10 +175,6 @@ class _PPPFastScorer:
                 np.arange(self.num_occupied, dtype=np.int64)[:, None] * (self.n * self.n)
                 + table.pair_index[None, :]
             ).ravel()
-        if cacheable:
-            if len(self._tables) >= 8:
-                self._tables.pop(next(iter(self._tables)))
-            self._tables[id(moves)] = table
         return table
 
     def workspace_bytes(self, num_solutions: int, num_moves: int) -> int:
@@ -191,13 +185,12 @@ class _PPPFastScorer:
 
     def _workspace(self, *shape: int) -> np.ndarray:
         """Reused float32 scratch buffer for the given shape (hot-loop calls
-        repeat the same shapes every lockstep iteration)."""
+        repeat the same shapes every lockstep iteration; the shape-keyed LRU
+        cache bounds the retained scratch memory)."""
         buf = self._workspaces.get(shape)
         if buf is None:
-            if len(self._workspaces) >= 12:
-                self._workspaces.clear()
             buf = np.empty(shape, dtype=np.float32)
-            self._workspaces[shape] = buf
+            self._workspaces.put(shape, buf)
         return buf
 
     def evaluate(
@@ -479,6 +472,9 @@ class PermutedPerceptronProblem(BinaryProblem):
         array and is written in place.
         """
         solutions, moves = self._check_batch_args(solutions, moves)
+        sharded = self._dispatch_host_pool(solutions, moves, out)
+        if sharded is not None:
+            return sharded
         num_solutions = solutions.shape[0]
         num_moves = moves.shape[0]
         scorer = self._fast()

@@ -1,0 +1,276 @@
+"""Host-parallel lockstep engine: sharded runs must be bit-identical.
+
+The container running CI may report a single core, so these tests force real
+multi-process sharding through the uncapped ``REPRO_HOST_WORKERS`` override
+and drop the dispatch threshold to one element — exactly the escape hatches
+the pool documents for this purpose.
+"""
+
+import numpy as np
+import pytest
+
+import repro.parallel.pool as pool_mod
+from repro.harness.experiment import run_ppp_experiment
+from repro.localsearch.multistart import MultiStartRunner
+from repro.parallel import (
+    DEFAULT_MIN_WORK,
+    HostWorkerPool,
+    host_parallel,
+    resolve_host_workers,
+    shard_bounds,
+    shutdown_host_pool,
+)
+from repro.problems import UBQP, MaxSat
+
+
+@pytest.fixture(autouse=True)
+def _pool_teardown():
+    yield
+    shutdown_host_pool()
+
+
+def test_resolve_host_workers_semantics(monkeypatch):
+    monkeypatch.delenv("REPRO_HOST_WORKERS", raising=False)
+    assert resolve_host_workers(None) == 1
+    assert resolve_host_workers(1) == 1
+    import os
+
+    assert resolve_host_workers(10_000) == (os.cpu_count() or 1)
+    with pytest.raises(ValueError):
+        resolve_host_workers(0)
+    # The environment override wins and is deliberately uncapped.
+    monkeypatch.setenv("REPRO_HOST_WORKERS", "6")
+    assert resolve_host_workers(None) == 6
+    assert resolve_host_workers(2) == 6
+    monkeypatch.setenv("REPRO_HOST_WORKERS", "not-a-number")
+    with pytest.raises(ValueError):
+        resolve_host_workers(None)
+
+
+@pytest.mark.parametrize("num_rows,num_workers", [(7, 3), (6, 4), (2, 2), (10, 2), (3, 5)])
+def test_shard_bounds_partition_exactly(num_rows, num_workers):
+    bounds = [shard_bounds(num_rows, num_workers, w) for w in range(num_workers)]
+    assert bounds[0][0] == 0 and bounds[-1][1] == num_rows
+    for (_, hi), (lo, _) in zip(bounds, bounds[1:]):
+        assert hi == lo  # contiguous, non-overlapping
+    sizes = [hi - lo for lo, hi in bounds]
+    assert max(sizes) - min(sizes) <= 1  # balanced to within one row
+
+
+def _frozen_pairs(rng, n, num):
+    a = rng.integers(0, n, size=num)
+    b = (a + 1 + rng.integers(0, n - 1, size=num)) % n
+    moves = np.stack([a, b], axis=1).astype(np.int64)
+    moves.setflags(write=False)
+    return moves
+
+
+@pytest.mark.parametrize("problem_factory", [lambda: UBQP.random(30, rng=1),
+                                             lambda: MaxSat.random(30, 120, rng=2)])
+def test_pool_evaluation_matches_local(problem_factory, monkeypatch):
+    monkeypatch.setenv("REPRO_HOST_WORKERS", "3")
+    monkeypatch.setenv("REPRO_HOST_MIN_WORK", "1")
+    problem = problem_factory()
+    rng = np.random.default_rng(0)
+    solutions = rng.integers(0, 2, size=(7, problem.n), dtype=np.int8)
+    moves = _frozen_pairs(rng, problem.n, 100)
+    local = problem.evaluate_neighborhood_batch(solutions, moves)
+    with host_parallel(problem, max_rows=7, max_moves=100) as pool:
+        assert pool is not None and problem._host_pool is pool
+        sharded = problem.evaluate_neighborhood_batch(solutions, moves)
+        assert pool.dispatch_count == 1
+        out = np.empty_like(local)
+        assert problem.evaluate_neighborhood_batch(solutions, moves, out=out) is out
+        assert pool.dispatch_count == 2
+    assert problem._host_pool is None  # detached: back to the class default
+    np.testing.assert_array_equal(local, sharded)
+    np.testing.assert_array_equal(local, out)
+
+
+def test_pool_declines_unshardable_batches(monkeypatch):
+    monkeypatch.setenv("REPRO_HOST_WORKERS", "2")
+    monkeypatch.setenv("REPRO_HOST_MIN_WORK", "1")
+    problem = UBQP.random(20, rng=3)
+    rng = np.random.default_rng(4)
+    solutions = rng.integers(0, 2, size=(6, 20), dtype=np.int8)
+    frozen = _frozen_pairs(rng, 20, 40)
+    with host_parallel(problem, max_rows=6, max_moves=40) as pool:
+        writable = np.array(frozen)
+        problem.evaluate_neighborhood_batch(solutions, writable)
+        assert pool.dispatch_count == 0  # writable move table -> local
+        problem.evaluate_neighborhood_batch(solutions[:1], frozen)
+        assert pool.dispatch_count == 0  # single row -> local
+        monkeypatch.setenv("REPRO_HOST_MIN_WORK", str(DEFAULT_MIN_WORK))
+        problem.evaluate_neighborhood_batch(solutions, frozen)
+        assert pool.dispatch_count == 0  # under the dispatch threshold
+        monkeypatch.setenv("REPRO_HOST_MIN_WORK", "1")
+        assert pool.try_evaluate(problem, solutions, frozen[:0]) is None  # no moves
+        big = rng.integers(0, 2, size=(1000, 20), dtype=np.int8)
+        assert pool.try_evaluate(problem, big, frozen) is None  # over capacity
+        problem.evaluate_neighborhood_batch(solutions, frozen)
+        assert pool.dispatch_count == 1
+
+
+def test_worker_errors_surface_in_parent(monkeypatch):
+    monkeypatch.setenv("REPRO_HOST_MIN_WORK", "1")
+    problem = UBQP.random(12, rng=5)
+    pool = HostWorkerPool(2, solution_capacity=12 * 4, out_capacity=4 * 12)
+    try:
+        pool.attach(problem)
+        rng = np.random.default_rng(6)
+        solutions = rng.integers(0, 2, size=(4, 12), dtype=np.int8)
+        bad = np.full((5, 1), 99, dtype=np.int64)  # out-of-range bit index
+        bad.setflags(write=False)
+        with pytest.raises(RuntimeError, match="host worker pool"):
+            pool.try_evaluate(problem, solutions, bad)
+    finally:
+        pool.shutdown()
+
+
+def test_min_work_threshold_env_validation(monkeypatch):
+    monkeypatch.delenv("REPRO_HOST_MIN_WORK", raising=False)
+    assert pool_mod._min_work() == DEFAULT_MIN_WORK
+    monkeypatch.setenv("REPRO_HOST_MIN_WORK", "not-a-number")
+    with pytest.raises(ValueError, match="REPRO_HOST_MIN_WORK"):
+        pool_mod._min_work()
+
+
+def test_pool_requires_at_least_two_workers():
+    with pytest.raises(ValueError, match="workers"):
+        HostWorkerPool(1, solution_capacity=8, out_capacity=8)
+
+
+def test_get_host_pool_reuses_then_recreates():
+    first = pool_mod.get_host_pool(2, solution_capacity=64, out_capacity=64)
+    assert first is not None and first.alive
+    # A smaller request fits the live pool: the singleton is reused.
+    again = pool_mod.get_host_pool(2, solution_capacity=32, out_capacity=32)
+    assert again is first
+    # A different worker count cannot be satisfied: rebuild, old pool dies.
+    bigger = pool_mod.get_host_pool(3, solution_capacity=64, out_capacity=64)
+    assert bigger is not first and bigger.num_workers == 3
+    assert not first.alive
+    first.shutdown()  # idempotent on an already-closed pool
+    shutdown_host_pool()
+    shutdown_host_pool()  # idempotent on an already-cleared singleton
+    assert pool_mod._POOL is None
+
+
+def test_dead_worker_reported_cleanly(monkeypatch):
+    monkeypatch.setenv("REPRO_HOST_MIN_WORK", "1")
+    problem = UBQP.random(10, rng=8)
+    pool = HostWorkerPool(2, solution_capacity=4 * 10, out_capacity=4 * 8)
+    try:
+        pool.attach(problem)
+        victim = pool._procs[0]
+        victim.terminate()
+        victim.join(timeout=5)
+        rng = np.random.default_rng(9)
+        solutions = rng.integers(0, 2, size=(4, 10), dtype=np.int8)
+        moves = _frozen_pairs(rng, 10, 8)
+        with pytest.raises(RuntimeError, match="worker 0 died"):
+            pool.try_evaluate(problem, solutions, moves)
+    finally:
+        pool.shutdown()
+
+
+def test_pool_side_table_cache_is_bounded(monkeypatch):
+    monkeypatch.setenv("REPRO_HOST_WORKERS", "2")
+    monkeypatch.setenv("REPRO_HOST_MIN_WORK", "1")
+    problem = UBQP.random(10, rng=10)
+    local_problem = UBQP.random(10, rng=10)  # identical instance, never pooled
+    rng = np.random.default_rng(11)
+    solutions = rng.integers(0, 2, size=(4, 10), dtype=np.int8)
+    with host_parallel(problem, max_rows=4, max_moves=8) as pool:
+        tables = [_frozen_pairs(rng, 10, 8) for _ in range(pool_mod.MAX_TABLES + 3)]
+        for moves in tables:
+            local = local_problem.evaluate_neighborhood_batch(solutions, moves)
+            sharded = problem.evaluate_neighborhood_batch(solutions, moves)
+            np.testing.assert_array_equal(local, sharded)
+        assert len(pool._tables) <= pool_mod.MAX_TABLES
+        assert pool.dispatch_count == len(tables)
+
+
+def test_single_worker_request_is_a_no_op(monkeypatch):
+    monkeypatch.delenv("REPRO_HOST_WORKERS", raising=False)
+    problem = UBQP.random(10, rng=7)
+    with host_parallel(problem, 1, max_rows=8, max_moves=10) as pool:
+        assert pool is None
+        assert problem._host_pool is None
+
+
+REPLICAS = 6
+SPEC = (21, 21)
+LOCKSTEP_ITERATIONS = 10
+
+
+def _experiment(transfer_mode, track_history=True):
+    evaluator = "cpu" if transfer_mode == "full" else "gpu"
+    return run_ppp_experiment(
+        SPEC,
+        2,
+        trials=REPLICAS,
+        max_iterations=LOCKSTEP_ITERATIONS,
+        trial_mode="batched",
+        evaluator_factory=evaluator,
+        transfer_mode=transfer_mode,
+        track_history=track_history,
+    )
+
+
+@pytest.mark.parametrize("transfer_mode", ["full", "delta", "reduced", "persistent"])
+@pytest.mark.parametrize("workers", [2, 4])
+def test_sharded_lockstep_is_bit_identical(transfer_mode, workers, monkeypatch):
+    # workers=4 does not divide the 6 replicas: uneven shards are exercised.
+    monkeypatch.delenv("REPRO_HOST_WORKERS", raising=False)
+    baseline = _experiment(transfer_mode)
+    monkeypatch.setenv("REPRO_HOST_WORKERS", str(workers))
+    monkeypatch.setenv("REPRO_HOST_MIN_WORK", "1")
+    sharded = _experiment(transfer_mode)
+    if transfer_mode != "full":
+        # The simulated-GPU modes evaluate through the frozen kernel move
+        # table, so the pool must actually have sharded the lockstep batch.
+        assert pool_mod._POOL is not None and pool_mod._POOL.dispatch_count > 0
+    for t_base, t_shard in zip(baseline.trials, sharded.trials):
+        assert t_base.fitness == t_shard.fitness
+        assert t_base.iterations == t_shard.iterations
+        assert t_base.success == t_shard.success
+    for attr in ("h2d_bytes", "d2h_bytes", "p2p_bytes", "kernel_launches", "sim_elapsed_s"):
+        assert getattr(baseline, attr) == getattr(sharded, attr), attr
+
+
+def test_runner_host_workers_capped_matches_baseline(monkeypatch):
+    # An explicit request is capped at the machine's core count; whatever
+    # the cap resolves to, results must match the single-process baseline.
+    monkeypatch.delenv("REPRO_HOST_WORKERS", raising=False)
+    baseline = _experiment("full", track_history=False)
+    capped = run_ppp_experiment(
+        SPEC,
+        2,
+        trials=REPLICAS,
+        max_iterations=LOCKSTEP_ITERATIONS,
+        trial_mode="batched",
+        transfer_mode="full",
+        host_workers=2,
+    )
+    for t_base, t_capped in zip(baseline.trials, capped.trials):
+        assert t_base.fitness == t_capped.fitness
+        assert t_base.iterations == t_capped.iterations
+
+
+def test_host_workers_rejected_outside_batched_mode():
+    with pytest.raises(ValueError, match="batched"):
+        run_ppp_experiment(SPEC, 2, trials=2, max_iterations=2,
+                           trial_mode="serial", host_workers=2)
+
+
+def test_runner_rejects_bad_host_workers():
+    from repro.core.evaluators import CPUEvaluator
+    from repro.neighborhoods import KHammingNeighborhood
+    from repro.problems import make_table_instance
+    from repro.problems.instances import PPPInstanceSpec
+
+    problem = make_table_instance(PPPInstanceSpec(*SPEC), trial=0)
+    evaluator = CPUEvaluator(problem, KHammingNeighborhood(problem.n, 1))
+    with pytest.raises(ValueError, match="host_workers"):
+        MultiStartRunner(evaluator, host_workers=0)
