@@ -84,6 +84,22 @@ def build_parser() -> argparse.ArgumentParser:
                             "--trial-mode batched; capped at the core count, "
                             "REPRO_HOST_WORKERS overrides uncapped); results are "
                             "bit-identical to the single-process run")
+    p_exp.add_argument("--fault-plan", default=None, metavar="PLAN",
+                       help="inject faults at lockstep boundaries (--trial-mode "
+                            "batched only): comma-separated kind:arg@iteration "
+                            "terms with kind one of fail/join/flaky/kill-worker, "
+                            "e.g. 'flaky:2@5,fail:1@40,join:1@80'; timing-only — "
+                            "per-trial records stay bit-identical")
+    p_exp.add_argument("--checkpoint-every", type=int, default=None, metavar="N",
+                       help="write the latest search checkpoint every N lockstep "
+                            "iterations (--trial-mode batched only; needs "
+                            "--checkpoint-path)")
+    p_exp.add_argument("--checkpoint-path", default=None, metavar="FILE",
+                       help="where --checkpoint-every writes its JSON snapshot")
+    p_exp.add_argument("--restore", default=None, metavar="FILE",
+                       help="resume from a checkpoint written by a previous run "
+                            "(--trial-mode batched only); the finished run is "
+                            "bit-identical to an uninterrupted one")
 
     p_fig = sub.add_parser("figure8", help="regenerate Figure 8 (acceleration vs instance size)")
     p_fig.add_argument("--scale", default="smoke", choices=("smoke", "reduced", "paper"))
@@ -170,13 +186,19 @@ def _cmd_experiment(args) -> int:
         pinned=args.pinned,
         topology=args.topology,
         host_workers=args.host_workers,
+        fault_plan=args.fault_plan,
+        checkpoint_every=args.checkpoint_every,
+        checkpoint_path=args.checkpoint_path,
+        restore=args.restore,
     )
     print(f"instance: {args.m} x {n} PPP, {args.k}-Hamming neighborhood, "
           f"{args.trials} trials ({args.trial_mode} mode, {args.evaluator} evaluator, "
           f"{args.transfer_mode} transfers"
           + (", pinned memory" if args.pinned else "")
           + (f", {args.topology} interconnect" if args.topology else "")
-          + (f", {args.host_workers} host workers" if args.host_workers else "") + ")")
+          + (f", {args.host_workers} host workers" if args.host_workers else "")
+          + (f", faults [{args.fault_plan}]" if args.fault_plan else "")
+          + (", resumed from checkpoint" if args.restore else "") + ")")
     print(f"fitness: {row.mean_fitness:.2f} +/- {row.std_fitness:.2f}, "
           f"successes: {row.successes}/{row.num_trials}, "
           f"mean iterations: {row.mean_iterations:.1f}")

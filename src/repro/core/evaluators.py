@@ -225,6 +225,33 @@ class NeighborhoodEvaluator(abc.ABC):
     def reset_stats(self) -> None:
         self.stats.reset()
 
+    # ------------------------------------------------------------------
+    # Checkpoint API
+    # ------------------------------------------------------------------
+    def snapshot_state(self) -> dict:
+        """Checkpointable state of this evaluator (versioned by the runner).
+
+        The base payload is the work counters; device-backed evaluators
+        extend it with their timeline, interconnect and resident-session
+        state so that a restored run continues *bit-identically* — same
+        trajectories, same byte counters, same makespans.
+        """
+        return {
+            "platform": self.platform,
+            "stats": {
+                "calls": self.stats.calls,
+                "evaluations": self.stats.evaluations,
+                "simulated_time": self.stats.simulated_time,
+            },
+        }
+
+    def restore_state(self, snap: dict) -> None:
+        """Install a :meth:`snapshot_state` payload into this fresh evaluator."""
+        stats = snap["stats"]
+        self.stats.calls = int(stats["calls"])
+        self.stats.evaluations = int(stats["evaluations"])
+        self.stats.simulated_time = float(stats["simulated_time"])
+
     def close(self) -> None:
         """Release any persistent per-evaluator device buffers (no-op on CPU)."""
 
@@ -1087,6 +1114,83 @@ class GPUEvaluator(NeighborhoodEvaluator):
         self._tabu_last_applied = None
         self._tabu_tenure = 0
 
+    # ------------------------------------------------------------------
+    # Checkpoint API
+    # ------------------------------------------------------------------
+    def snapshot_state(self, *, include_engine: bool = True) -> dict:
+        """Everything a fresh evaluator needs to continue bit-identically.
+
+        On top of the base work counters: the context's accounting (device
+        stats + per-stream timeline), the interconnect engine's committed
+        load (skipped with ``include_engine=False`` when the engine is
+        pool-shared and snapshotted once by :class:`MultiGPUEvaluator`), and
+        the resident session — solution mirror, staged deltas, sync point,
+        device-resident tabu stamps and, in persistent mode, the open
+        launch's accumulated progress.
+        """
+        snap = super().snapshot_state()
+        snap["context"] = self.context.snapshot_accounting()
+        if include_engine:
+            snap["engine"] = self.context.engine.snapshot()
+        if self._resident is not None:
+            session = {
+                "resident": self._resident.copy(),
+                "sync_time": self._sync_time,
+                "staged_deltas": [pairs.copy() for pairs in self._staged_deltas],
+                "tenure": self._tabu_tenure,
+                "stamps": (
+                    self._tabu_last_applied.copy()
+                    if self._tabu_last_applied is not None
+                    else None
+                ),
+                "loop": (
+                    self._loop.snapshot()
+                    if self._loop is not None and not self._loop.closed
+                    else None
+                ),
+            }
+            snap["session"] = session
+        return snap
+
+    def restore_state(self, snap: dict) -> None:
+        """Rebuild the snapshotted session without logging any transfers.
+
+        The resident block is installed through the same warm path the
+        rebalancer uses (:meth:`_adopt_resident`): the snapshotted counters
+        already include the original ``begin_search`` upload, so re-charging
+        it would double-count.  A snapshotted persistent launch is reopened
+        and its progress accumulators overwritten in place.
+        """
+        self._check_open()
+        self.end_search()
+        super().restore_state(snap)
+        context_snap = snap.get("context")
+        if context_snap is not None:
+            self.context.restore_accounting(context_snap)
+        engine_snap = snap.get("engine")
+        if engine_snap is not None:
+            self.context.engine.restore(engine_snap)
+        session = snap.get("session")
+        if session is None:
+            return
+        stamps = session.get("stamps")
+        if stamps is not None:
+            stamps = np.asarray(stamps, dtype=TABU_STAMP_DTYPE)
+        self._adopt_resident(
+            np.asarray(session["resident"], dtype=np.int8),
+            tenure=int(session["tenure"]) if stamps is not None else None,
+            stamps=stamps,
+        )
+        self._sync_time = float(session["sync_time"])
+        self._staged_deltas = [
+            np.asarray(pairs, dtype=DELTA_DTYPE).reshape(-1, 2)
+            for pairs in session["staged_deltas"]
+        ]
+        loop_state = session.get("loop")
+        if loop_state is not None:
+            self.open_persistent_loop()
+            self._loop.restore(loop_state)
+
     def close(self) -> None:
         """Free every persistent device buffer owned by this evaluator.
 
@@ -1133,11 +1237,32 @@ class MultiGPUEvaluator(NeighborhoodEvaluator):
         pinned: bool = False,
         peer_routing: bool = True,
         topology: InterconnectTopology | str | None = None,
+        active_devices: list[int] | None = None,
     ) -> None:
         super().__init__(problem, neighborhood)
         self.pool = MultiGPU(devices, mode=mode, pinned=pinned, topology=topology)
         self.scheduler = DeviceScheduler(self.pool.contexts, engine=self.pool.engine)
         self.block_size = int(block_size)
+        # Elastic fleet mask: every device is attached (its context, topology
+        # port and peer links exist for the whole run) but only *active*
+        # devices receive work.  ``fail_device`` / ``join_device`` flip the
+        # mask mid-run; ``active_devices`` starts some devices dark so they
+        # can join later.
+        if active_devices is None:
+            self._device_active = [True] * self.pool.num_devices
+        else:
+            chosen = {int(index) for index in active_devices}
+            if not chosen:
+                raise ValueError("need at least one active device")
+            bad = [index for index in chosen if not 0 <= index < self.pool.num_devices]
+            if bad:
+                raise ValueError(
+                    f"active device index out of range: {sorted(bad)} "
+                    f"(pool has {self.pool.num_devices} devices)"
+                )
+            self._device_active = [
+                index in chosen for index in range(self.pool.num_devices)
+            ]
         self._sub_evaluators = [
             GPUEvaluator(
                 problem,
@@ -1169,6 +1294,92 @@ class MultiGPUEvaluator(NeighborhoodEvaluator):
         """Cost profile used for throughput-proportional partitioning."""
         return self._sub_evaluators[0].batch_kernel.cost
 
+    # ------------------------------------------------------------------
+    # Elastic fleet: the active-device mask and its partitioner
+    # ------------------------------------------------------------------
+    @property
+    def device_active(self) -> tuple[bool, ...]:
+        """Which attached devices currently receive work."""
+        return tuple(self._device_active)
+
+    @property
+    def num_active_devices(self) -> int:
+        return sum(self._device_active)
+
+    def _active_weights(self) -> list[float]:
+        """Throughput weights with inactive devices masked to zero."""
+        return [
+            weight if active else 0.0
+            for weight, active in zip(
+                self.pool.throughput_weights(self._kernel_cost()), self._device_active
+            )
+        ]
+
+    def _partitions(self, total: int):
+        """Partition ``total`` flat indices across the *active* devices.
+
+        With every device active this is exactly the pool's partitioner
+        (the homogeneous even split, bit-for-bit); with a partial fleet the
+        masked weighted split hands inactive devices empty slices.
+        """
+        if all(self._device_active):
+            return self.pool.partitions(total, self._kernel_cost())
+        return weighted_partition_range(total, self._active_weights())
+
+    def fail_device(self, index: int) -> int:
+        """Simulate the death of an active device mid-run.
+
+        The device stops receiving work immediately.  If a resident session
+        is open, its replicas are recovered from the *host mirror* — the
+        functional state never left the host, so the mirror doubles as an
+        always-current checkpoint — and re-uploaded to the surviving devices
+        under the weighted repartition; only the single h2d recovery leg is
+        priced (there is no live source device to download from).  Returns
+        the number of migrated replicas.  Trajectories are unchanged.
+
+        Persistent sessions cannot lose a device: the launches are pinned to
+        their devices for the whole run, so a failure there raises.
+        """
+        index = int(index)
+        if not 0 <= index < self.num_devices:
+            raise ValueError(f"device index {index} out of range (pool has {self.num_devices})")
+        if not self._device_active[index]:
+            raise ValueError(f"device {index} is already inactive")
+        if self.num_active_devices <= 1:
+            raise RuntimeError("cannot fail the last active device")
+        if self._replica_ranges is not None and self._persistent:
+            raise RuntimeError(
+                "persistent launches pin replicas to their devices for the whole "
+                "run; a device failure is not recoverable in persistent mode"
+            )
+        self._device_active[index] = False
+        if self._replica_ranges is None:
+            return 0
+        return self._repartition_resident(lost=index)
+
+    def join_device(self, index: int) -> int:
+        """Bring an attached-but-inactive device online mid-run.
+
+        The weighted repartition immediately hands it a replica share (over
+        the peer links, or the host round trip on pools without peer
+        access).  Returns the number of migrated replicas.  Trajectories
+        are unchanged.
+        """
+        index = int(index)
+        if not 0 <= index < self.num_devices:
+            raise ValueError(f"device index {index} out of range (pool has {self.num_devices})")
+        if self._device_active[index]:
+            raise ValueError(f"device {index} is already active")
+        if self._replica_ranges is not None and self._persistent:
+            raise RuntimeError(
+                "persistent launches pin replicas to their devices for the whole "
+                "run; a device cannot join a persistent session"
+            )
+        self._device_active[index] = True
+        if self._replica_ranges is None:
+            return 0
+        return self._repartition_resident()
+
     def _device_buffer(self, context: GPUContext, name: str, size: int):
         """A per-device output buffer, reallocated when its size changes."""
         existing = context.memory.allocations.get(name)
@@ -1189,7 +1400,7 @@ class MultiGPUEvaluator(NeighborhoodEvaluator):
         scheduler = self.scheduler
         before = scheduler.makespan
         out = np.empty(indices.size, dtype=np.float64)
-        parts = self.pool.partitions(indices.size, self._kernel_cost())
+        parts = self._partitions(indices.size)
         chains = [
             (evaluator, part)
             for evaluator, part in zip(self._sub_evaluators, parts)
@@ -1251,7 +1462,7 @@ class MultiGPUEvaluator(NeighborhoodEvaluator):
         mapping = self.neighborhood.mapping
         scheduler = self.scheduler
         before = scheduler.makespan
-        parts = self.pool.partitions(flat_total, self._kernel_cost())
+        parts = self._partitions(flat_total)
         chains = []
         upload_items = []
         for evaluator, part in zip(self._sub_evaluators, parts):
@@ -1336,7 +1547,7 @@ class MultiGPUEvaluator(NeighborhoodEvaluator):
         if solutions.shape[0] == 0:
             raise ValueError("need at least one replica to start a resident search")
         self.end_search()
-        parts = self.pool.partitions(solutions.shape[0], self._kernel_cost())
+        parts = self._partitions(solutions.shape[0])
         self._replica_ranges = [(part.start, part.stop) for part in parts]
         self._persistent = bool(persistent)
         before = self.scheduler.makespan
@@ -1564,6 +1775,19 @@ class MultiGPUEvaluator(NeighborhoodEvaluator):
 
         Returns the number of migrated replicas.
         """
+        return self._repartition_resident(active)
+
+    def _repartition_resident(
+        self, active: np.ndarray | None = None, *, lost: int | None = None
+    ) -> int:
+        """Shared body of :meth:`rebalance_resident` / :meth:`fail_device` /
+        :meth:`join_device`.
+
+        ``lost`` marks a just-failed source device: its rows cannot leave it
+        over a peer link or a d2h leg (the device is gone), so they are
+        recovered from the exact host mirror and priced as a single h2d
+        upload to each destination.
+        """
         if self._replica_ranges is None:
             raise RuntimeError("begin_search must be called before rebalance_resident")
         if self._persistent:
@@ -1583,7 +1807,7 @@ class MultiGPUEvaluator(NeighborhoodEvaluator):
         active_pos = np.nonzero(active_mask)[0]
         if active_pos.size == 0:
             return 0
-        weights = self.pool.throughput_weights(self._kernel_cost())
+        weights = self._active_weights()
         shares = weighted_partition_range(active_pos.size, weights)
         bounds = [0]
         consumed = 0
@@ -1660,6 +1884,25 @@ class MultiGPUEvaluator(NeighborhoodEvaluator):
                     )
                 payload = np.concatenate(chunks)
                 assert payload.nbytes == count * row_bytes
+                if src == lost:
+                    # The source device is dead: its rows are recovered from
+                    # the exact host mirror, so the only priced leg is the
+                    # h2d upload into each destination.
+                    dst_context = dst_sub.context
+                    start = dst_sub._sync_time
+                    up_start = dst_context._issue_start(COPY_STREAM, None, start)
+                    up = dst_context.host_transfer_grant(
+                        "h2d", payload.nbytes,
+                        start=up_start, label=f"recover:{src}->{dst}",
+                    )
+                    up_interval = dst_context.timeline.schedule(
+                        "h2d", f"recover:{src}->{dst}", up.duration,
+                        stream=COPY_STREAM, not_before=start,
+                    )
+                    dst_context.stats.transfer_time += up.duration
+                    dst_context.stats.h2d_bytes += payload.nbytes
+                    arrivals[dst] = max(arrivals.get(dst, 0.0), up_interval.end)
+                    continue
                 start = max(src_sub._sync_time, dst_sub._sync_time)
                 if src_sub.context.can_access_peer(dst_sub.context):
                     arrival = src_sub.context.copy_peer_async(
@@ -1723,6 +1966,54 @@ class MultiGPUEvaluator(NeighborhoodEvaluator):
                 evaluator._staged_deltas = [local.astype(DELTA_DTYPE)]
         self._replica_ranges = new_ranges
         return migrated
+
+    # -- checkpointing ---------------------------------------------------
+    def snapshot_state(self) -> dict:
+        """Checkpoint the pool: shared engine, host timeline, every device.
+
+        Sub-evaluator snapshots exclude the shared :class:`TransferEngine`
+        (it is captured once at pool level), and the pool additionally
+        records the elastic-fleet mask plus the resident session layout.
+        """
+        snap = super().snapshot_state()
+        snap["engine"] = self.pool.engine.snapshot()
+        snap["host_timeline"] = self.scheduler.host_timeline.snapshot()
+        snap["subs"] = [
+            evaluator.snapshot_state(include_engine=False)
+            for evaluator in self._sub_evaluators
+        ]
+        snap["device_active"] = list(self._device_active)
+        snap["replica_ranges"] = (
+            [list(r) for r in self._replica_ranges]
+            if self._replica_ranges is not None
+            else None
+        )
+        snap["persistent"] = self._persistent
+        snap["resident_tenure"] = self._resident_tenure
+        return snap
+
+    def restore_state(self, snap: dict) -> None:
+        """Install a pool :meth:`snapshot_state`, replacing any live session."""
+        self.end_search()
+        super().restore_state(snap)
+        self.pool.engine.restore(snap["engine"])
+        self.scheduler.host_timeline.restore(snap["host_timeline"])
+        subs = snap["subs"]
+        if len(subs) != len(self._sub_evaluators):
+            raise ValueError(
+                f"checkpoint covers {len(subs)} devices, pool has "
+                f"{len(self._sub_evaluators)}"
+            )
+        for evaluator, sub_snap in zip(self._sub_evaluators, subs):
+            evaluator.restore_state(sub_snap)
+        self._device_active = [bool(flag) for flag in snap["device_active"]]
+        ranges = snap.get("replica_ranges")
+        self._replica_ranges = (
+            [(int(lo), int(hi)) for lo, hi in ranges] if ranges is not None else None
+        )
+        self._persistent = bool(snap.get("persistent", False))
+        tenure = snap.get("resident_tenure")
+        self._resident_tenure = int(tenure) if tenure is not None else None
 
     def end_search(self) -> None:
         for evaluator in self._sub_evaluators:

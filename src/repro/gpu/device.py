@@ -22,6 +22,8 @@ __all__ = [
     "GTX_280",
     "GTX_8800",
     "TESLA_C1060",
+    "TESLA_V100",
+    "A100_SXM",
     "XEON_3GHZ",
     "DEVICE_PRESETS",
     "get_device",
@@ -203,6 +205,64 @@ TESLA_C1060 = DeviceSpec(
     memory_efficiency=0.50,
 )
 
+#: Modern NVLink-class presets.  They extend the paper-era catalog so
+#: heterogeneous-fleet scheduling (weighted repartition, elastic join/leave)
+#: has meaningfully unequal devices to reason about: a V100 or A100 pulls an
+#: order of magnitude more replicas than a GTX 280 under the same kernel
+#: cost, and its NVLink-class peer links make migration nearly free compared
+#: to a PCIe host round trip.  The efficiency factors stay at the
+#: metaheuristic-kernel calibration (integer-dominated, gather-heavy), not
+#: the cards' dense-GEMM marketing numbers.
+TESLA_V100 = DeviceSpec(
+    name="NVIDIA Tesla V100 (NVLink)",
+    multiprocessors=80,
+    cores_per_mp=64,
+    clock_hz=1.53e9,
+    max_threads_per_block=1024,
+    max_threads_per_mp=2048,
+    max_blocks_per_mp=32,
+    registers_per_mp=65536,
+    shared_mem_per_mp=96 * 1024,
+    global_mem_bytes=32 * 1024**3,
+    mem_bandwidth=900.0e9,
+    mem_latency_cycles=400.0,
+    kernel_launch_overhead=1.0e-5,
+    pcie_bandwidth=12.0e9,
+    pcie_latency=8.0e-6,
+    pcie_pinned_bandwidth=13.0e9,
+    pcie_pinned_latency=4.0e-6,
+    p2p_bandwidth=45.0e9,
+    p2p_latency=5.0e-6,
+    memory_efficiency=0.55,
+    latency_hiding_warps=12.0,
+    texture_efficiency=0.80,
+)
+
+A100_SXM = DeviceSpec(
+    name="NVIDIA A100 SXM (NVLink3)",
+    multiprocessors=108,
+    cores_per_mp=64,
+    clock_hz=1.41e9,
+    max_threads_per_block=1024,
+    max_threads_per_mp=2048,
+    max_blocks_per_mp=32,
+    registers_per_mp=65536,
+    shared_mem_per_mp=164 * 1024,
+    global_mem_bytes=80 * 1024**3,
+    mem_bandwidth=2039.0e9,
+    mem_latency_cycles=400.0,
+    kernel_launch_overhead=1.0e-5,
+    pcie_bandwidth=24.0e9,
+    pcie_latency=6.0e-6,
+    pcie_pinned_bandwidth=26.0e9,
+    pcie_pinned_latency=3.0e-6,
+    p2p_bandwidth=250.0e9,
+    p2p_latency=3.0e-6,
+    memory_efficiency=0.60,
+    latency_hiding_warps=16.0,
+    texture_efficiency=0.85,
+)
+
 #: The paper's host CPU; the sustained figure reflects a scalar, single-core,
 #: integer-heavy evaluation loop (calibrated so that the reproduced table
 #: shapes match the paper's CPU columns within a small factor).
@@ -219,6 +279,10 @@ DEVICE_PRESETS: dict[str, DeviceSpec] = {
     "8800gtx": GTX_8800,
     "g80": GTX_8800,
     "teslac1060": TESLA_C1060,
+    "v100": TESLA_V100,
+    "teslav100": TESLA_V100,
+    "a100": A100_SXM,
+    "a100sxm": A100_SXM,
 }
 
 

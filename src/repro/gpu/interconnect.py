@@ -553,6 +553,12 @@ class TransferEngine:
         self.total_stall = 0.0
         self.stall_by_device: dict[str, float] = {}
         self.transfers = 0
+        #: Transient-failure injection (see :meth:`inject_transfer_faults`):
+        #: each armed fault is a ``(retries, backoff)`` pair consumed by one
+        #: future host transfer.
+        self._pending_faults: list[tuple[int, float]] = []
+        self.retried_transfers = 0
+        self.retry_time = 0.0
 
     # ------------------------------------------------------------------
     # Routing
@@ -575,6 +581,44 @@ class TransferEngine:
 
     def has_peer_route(self, src: str, dst: str) -> bool:
         return self.topology.has_peer_route(src, dst)
+
+    # ------------------------------------------------------------------
+    # Fault injection
+    # ------------------------------------------------------------------
+    def inject_transfer_faults(
+        self, count: int = 1, *, retries: int = 1, backoff: float = 1.0e-3
+    ) -> None:
+        """Arm ``count`` transient host-transfer failures.
+
+        Each of the next ``count`` non-empty host<->device copies priced by
+        the engine fails ``retries`` times before succeeding; every failed
+        attempt costs the route latency plus an exponentially growing
+        backoff gap (``backoff * 2**attempt``).  The penalty extends the
+        grant's duration — and therefore the issuing stream's timeline —
+        but the copy still delivers its payload, so trajectories are
+        unaffected: this is a *timing* fault, tallied in
+        :attr:`retried_transfers` / :attr:`retry_time`.
+        """
+        if count < 1:
+            raise ValueError(f"fault count must be >= 1, got {count}")
+        if retries < 1:
+            raise ValueError(f"retries must be >= 1, got {retries}")
+        if backoff < 0.0:
+            raise ValueError(f"backoff must be >= 0, got {backoff}")
+        self._pending_faults.extend((int(retries), float(backoff)) for _ in range(count))
+
+    def _consume_fault(self, item: _PricingItem) -> float:
+        """Retry penalty for one priced request (0.0 when no fault is armed)."""
+        if not self._pending_faults:
+            return 0.0
+        request = item.request
+        if request.direction not in (H2D, D2H) or request.nbytes <= 0:
+            return 0.0
+        retries, backoff = self._pending_faults.pop(0)
+        penalty = sum(item.route.latency + backoff * 2.0**i for i in range(retries))
+        self.retried_transfers += retries
+        self.retry_time += penalty
+        return penalty
 
     # ------------------------------------------------------------------
     # Pricing
@@ -640,12 +684,18 @@ class TransferEngine:
         grants = []
         for item in items:
             request = item.request
-            duration = item.duration + item.route.latency
+            penalty = self._consume_fault(item)
+            duration = item.duration + item.route.latency + penalty
             grant = TransferGrant(
                 request=request,
                 start=request.start,
                 duration=duration,
-                dedicated=item.route.latency + float(request.nbytes) / item.route.rate_cap,
+                # The retry penalty hits the dedicated price too (a lone copy
+                # would retry just the same), so ``stall`` keeps measuring
+                # only shared-link arbitration.
+                dedicated=(
+                    item.route.latency + float(request.nbytes) / item.route.rate_cap + penalty
+                ),
                 links=tuple(link.name for link in item.route.links),
             )
             self._commit(item, grant)
@@ -794,6 +844,69 @@ class TransferEngine:
             return 0.0
         return self.link_bytes(self.topology.uplink.name)
 
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """Checkpointable arbitration state.
+
+        The committed per-channel interval sets must round-trip exactly:
+        :meth:`_ChannelLoad.active_at` / :meth:`_ChannelLoad.next_boundary`
+        consult them when pricing *future* transfers, so a restored engine
+        arbitrates the rest of the run bit-identically to an uninterrupted
+        one.  Armed-but-unconsumed fault injections survive the checkpoint
+        too.
+        """
+        return {
+            "topology": self.topology.name,
+            "loads": [
+                {
+                    "link": link_name,
+                    "channel": channel,
+                    "starts": list(load.starts),
+                    "ends": list(load.ends),
+                    "nbytes": load.nbytes,
+                    "transfers": load.transfers,
+                }
+                for (link_name, channel), load in self._loads.items()
+            ],
+            "total_stall": self.total_stall,
+            "stall_by_device": dict(self.stall_by_device),
+            "transfers": self.transfers,
+            "pending_faults": [list(pair) for pair in self._pending_faults],
+            "retried_transfers": self.retried_transfers,
+            "retry_time": self.retry_time,
+            "timeline": self.timeline.snapshot(),
+        }
+
+    def restore(self, snap: dict) -> None:
+        """Install a :meth:`snapshot` taken on an engine of the same topology."""
+        if snap.get("topology") != self.topology.name:
+            raise ValueError(
+                f"checkpoint was taken on topology {snap.get('topology')!r}, "
+                f"this engine routes {self.topology.name!r}"
+            )
+        self._loads = {
+            (entry["link"], entry["channel"]): _ChannelLoad(
+                starts=[float(t) for t in entry["starts"]],
+                ends=[float(t) for t in entry["ends"]],
+                nbytes=float(entry["nbytes"]),
+                transfers=int(entry["transfers"]),
+            )
+            for entry in snap["loads"]
+        }
+        self.total_stall = float(snap["total_stall"])
+        self.stall_by_device = {
+            device: float(value) for device, value in snap["stall_by_device"].items()
+        }
+        self.transfers = int(snap["transfers"])
+        self._pending_faults = [
+            (int(retries), float(backoff)) for retries, backoff in snap["pending_faults"]
+        ]
+        self.retried_transfers = int(snap["retried_transfers"])
+        self.retry_time = float(snap["retry_time"])
+        self.timeline.restore(snap["timeline"])
+
     def reset(self) -> None:
         """Drop all committed load (call when the pool's clocks rewind)."""
         self._loads.clear()
@@ -801,6 +914,9 @@ class TransferEngine:
         self.total_stall = 0.0
         self.stall_by_device.clear()
         self.transfers = 0
+        self._pending_faults.clear()
+        self.retried_transfers = 0
+        self.retry_time = 0.0
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"TransferEngine(topology={self.topology.name!r}, transfers={self.transfers})"

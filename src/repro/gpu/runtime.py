@@ -100,6 +100,37 @@ class DeviceStats:
         self.host_eval_time = 0.0
         self.launch_records.clear()
 
+    # -- checkpointing ---------------------------------------------------
+    def snapshot(self) -> dict:
+        """Scalar counters only — launch records are profiling artifacts."""
+        return {
+            "kernel_launches": self.kernel_launches,
+            "kernel_time": self.kernel_time,
+            "transfer_time": self.transfer_time,
+            "h2d_bytes": self.h2d_bytes,
+            "d2h_bytes": self.d2h_bytes,
+            "p2p_bytes": self.p2p_bytes,
+            "peer_transfers": self.peer_transfers,
+            "p2p_time": self.p2p_time,
+            "reductions": self.reductions,
+            "reduction_time": self.reduction_time,
+            "host_eval_time": self.host_eval_time,
+        }
+
+    def restore(self, state: dict) -> None:
+        self.kernel_launches = int(state["kernel_launches"])
+        self.kernel_time = float(state["kernel_time"])
+        self.transfer_time = float(state["transfer_time"])
+        self.h2d_bytes = int(state["h2d_bytes"])
+        self.d2h_bytes = int(state["d2h_bytes"])
+        self.p2p_bytes = int(state["p2p_bytes"])
+        self.peer_transfers = int(state["peer_transfers"])
+        self.p2p_time = float(state["p2p_time"])
+        self.reductions = int(state["reductions"])
+        self.reduction_time = float(state["reduction_time"])
+        self.host_eval_time = float(state["host_eval_time"])
+        self.launch_records.clear()
+
 
 @dataclass(frozen=True)
 class PersistentLaunchRecord:
@@ -187,6 +218,35 @@ class DeviceLoop:
     @property
     def closed(self) -> bool:
         return self._closed
+
+    # -- checkpointing ---------------------------------------------------
+    def snapshot(self) -> dict:
+        """Checkpointable progress of the open launch (all accumulators)."""
+        self._check_open()
+        return {
+            "start_time": self.start_time,
+            "iterations": self.iterations,
+            "body_time": self._body_time,
+            "ring_time": self._ring_time,
+            "ring_bytes": self._ring_bytes,
+            "control_time": self._control_time,
+            "control_bytes": self._control_bytes,
+            "ring_cursor": self._ring_cursor,
+            "control_cursor": self._control_cursor,
+        }
+
+    def restore(self, state: dict) -> None:
+        """Overwrite a freshly-opened loop with snapshotted progress."""
+        self._check_open()
+        self.start_time = float(state["start_time"])
+        self.iterations = int(state["iterations"])
+        self._body_time = float(state["body_time"])
+        self._ring_time = float(state["ring_time"])
+        self._ring_bytes = int(state["ring_bytes"])
+        self._control_time = float(state["control_time"])
+        self._control_bytes = int(state["control_bytes"])
+        self._ring_cursor = float(state["ring_cursor"])
+        self._control_cursor = float(state["control_cursor"])
 
     def iterate(
         self,
@@ -779,6 +839,45 @@ class GPUContext:
     def synchronize(self) -> float:
         """Host-side sync point: the simulated instant all streams drain."""
         return self.timeline.elapsed
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    def snapshot_accounting(self) -> dict:
+        """Checkpointable accounting state: stats, timeline, staging counters.
+
+        Device *contents* (allocations) are deliberately not included —
+        callers reinstall resident data through their own warm paths (see
+        ``GPUEvaluator.restore_state``), and the shared interconnect engine
+        is snapshotted separately by whoever owns it.
+        """
+        snap = {
+            "device": self.device.name,
+            "stats": self.stats.snapshot(),
+            "timeline": self.timeline.snapshot(),
+        }
+        if self.staging_pool is not None:
+            snap["staging"] = {
+                "stagings": self.staging_pool.stagings,
+                "staged_bytes": self.staging_pool.staged_bytes,
+                "high_water_bytes": self.staging_pool.high_water_bytes,
+            }
+        return snap
+
+    def restore_accounting(self, snap: dict) -> None:
+        """Install a :meth:`snapshot_accounting` taken on an identical device."""
+        if snap.get("device") != self.device.name:
+            raise ValueError(
+                f"checkpoint was taken on device {snap.get('device')!r}, "
+                f"this context simulates {self.device.name!r}"
+            )
+        self.stats.restore(snap["stats"])
+        self.timeline.restore(snap["timeline"])
+        staging = snap.get("staging")
+        if staging is not None and self.staging_pool is not None:
+            self.staging_pool.stagings = int(staging["stagings"])
+            self.staging_pool.staged_bytes = int(staging["staged_bytes"])
+            self.staging_pool.high_water_bytes = int(staging["high_water_bytes"])
 
     # ------------------------------------------------------------------
     def reset(self) -> None:

@@ -166,6 +166,31 @@ class Stream:
         for start, end in zip(other._starts, other._ends):
             self._busy += end - start
 
+    # -- checkpointing ---------------------------------------------------
+    def snapshot(self) -> dict:
+        """Checkpointable accounting state: cursor + busy accumulator.
+
+        The per-operation interval *records* are report-only and deliberately
+        dropped: future operations on a restored stream are scheduled and
+        accumulated bit-identically (that is the checkpoint guarantee), while
+        pre-checkpoint rows simply no longer show up in timeline reports.
+        """
+        return {"cursor": self.cursor, "busy": self._busy, "ops": self.num_intervals}
+
+    def restore(self, state: dict) -> None:
+        """Install a :meth:`snapshot`, clearing any recorded intervals.
+
+        The busy accumulator is assigned directly — never re-summed from
+        records, whose float grouping differs from the incremental ``+=``
+        updates and would break bit-identical restores.
+        """
+        self.cursor = float(state["cursor"])
+        self._kinds = []
+        self._names = []
+        self._starts = []
+        self._ends = []
+        self._busy = float(state["busy"])
+
 
 class Timeline:
     """The set of streams of one device, plus the device-level clock."""
@@ -240,6 +265,17 @@ class Timeline:
     def reset(self) -> None:
         """Drop all recorded intervals and rewind every stream to t=0."""
         self.streams.clear()
+
+    # -- checkpointing ---------------------------------------------------
+    def snapshot(self) -> dict:
+        """Per-stream checkpoint state (see :meth:`Stream.snapshot`)."""
+        return {name: stream.snapshot() for name, stream in self.streams.items()}
+
+    def restore(self, state: dict) -> None:
+        """Replace every stream with its snapshotted cursor/busy state."""
+        self.streams.clear()
+        for name, stream_state in state.items():
+            self.stream(name).restore(stream_state)
 
 
 def format_timeline(timeline: Timeline, *, limit: int | None = None) -> str:

@@ -360,6 +360,10 @@ def run_ppp_experiment(
     pinned: bool = False,
     topology: str | None = None,
     host_workers: int | None = None,
+    fault_plan: str | None = None,
+    checkpoint_every: int | None = None,
+    checkpoint_path=None,
+    restore=None,
 ) -> ExperimentRow:
     """Run the paper's tabu-search protocol on one instance and one neighborhood.
 
@@ -431,6 +435,22 @@ def run_ppp_experiment(
         ``os.cpu_count()``; the ``REPRO_HOST_WORKERS`` environment variable
         overrides, uncapped.  Per-trial records stay bit-identical to the
         single-process run.
+    fault_plan:
+        ``"batched"`` mode only: a fault schedule in the
+        :meth:`repro.gpu.faults.FaultPlan.parse` syntax
+        (``kind:arg@iteration``, comma-separated) injected at lockstep
+        boundaries.  Device failures/joins and flaky transfers change
+        timing and placement only — per-trial records stay bit-identical.
+    checkpoint_every:
+        ``"batched"`` mode only: write the run's latest checkpoint to
+        ``checkpoint_path`` every this many lockstep iterations (see
+        :func:`repro.harness.io.save_checkpoint`).
+    checkpoint_path:
+        Where ``checkpoint_every`` writes its snapshot (required with it).
+    restore:
+        ``"batched"`` mode only: path of a checkpoint written by a previous
+        (killed) run; the experiment resumes from it instead of starting
+        fresh, and its records are bit-identical to an uninterrupted run.
     """
     if not isinstance(spec, PPPInstanceSpec):
         spec = PPPInstanceSpec(*spec)
@@ -450,6 +470,20 @@ def run_ppp_experiment(
         raise ValueError(
             f"host_workers applies to trial_mode='batched' only, got trial_mode={trial_mode!r}"
         )
+    if trial_mode != "batched":
+        for name, value in (
+            ("fault_plan", fault_plan),
+            ("checkpoint_every", checkpoint_every),
+            ("checkpoint_path", checkpoint_path),
+            ("restore", restore),
+        ):
+            if value is not None:
+                raise ValueError(
+                    f"{name} applies to trial_mode='batched' only, "
+                    f"got trial_mode={trial_mode!r}"
+                )
+    if checkpoint_every is not None and checkpoint_path is None:
+        raise ValueError("checkpoint_every requires a checkpoint_path")
     if trial_mode == "serial" and n_jobs > 1:
         trial_mode = "parallel"
     if trial_mode == "parallel":
@@ -515,6 +549,9 @@ def run_ppp_experiment(
     evaluator: NeighborhoodEvaluator = factory(problem, neighborhood)
 
     if trial_mode == "batched":
+        # Imported lazily: io imports ExperimentRow from this module.
+        from .io import load_checkpoint, save_checkpoint
+
         runner = MultiStartRunner(
             evaluator,
             algorithm="tabu",
@@ -524,7 +561,25 @@ def run_ppp_experiment(
             transfer_mode=transfer_mode,
             host_workers=host_workers,
         )
-        multi = runner.run(seeds=seeds)
+        checkpoint_callback = (
+            (lambda checkpoint: save_checkpoint(checkpoint_path, checkpoint))
+            if checkpoint_every is not None
+            else None
+        )
+        if restore is not None:
+            multi = runner.run(
+                resume=load_checkpoint(restore),
+                checkpoint_every=checkpoint_every,
+                checkpoint_callback=checkpoint_callback,
+                fault_plan=fault_plan,
+            )
+        else:
+            multi = runner.run(
+                seeds=seeds,
+                checkpoint_every=checkpoint_every,
+                checkpoint_callback=checkpoint_callback,
+                fault_plan=fault_plan,
+            )
         row.trials.extend(
             TrialRecord(
                 trial=trial,

@@ -27,12 +27,18 @@ import numpy as np
 
 from ..core.evaluators import NeighborhoodEvaluator, _fused_reduce
 from ..gpu.dtypes import TABU_NEVER
+from ..gpu.faults import FaultEvent, FaultPlan
 from ..parallel import host_parallel
 from ..problems.base import as_solution
 from .base import REDUCED_SELECTION_MODES, check_transfer_mode
 from .result import LSResult
 
-__all__ = ["MultiStartResult", "MultiStartRunner"]
+__all__ = ["CHECKPOINT_VERSION", "MultiStartResult", "MultiStartRunner"]
+
+#: Version tag written into every runner checkpoint.  Bumped whenever the
+#: checkpoint layout changes; :meth:`MultiStartRunner.run` refuses to resume
+#: from a different version instead of silently misreading it.
+CHECKPOINT_VERSION = 1
 
 #: Sentinel for "move never applied" in the vectorized tabu memory (matches
 #: the scalar :class:`~repro.localsearch.tabu.TabuSearch` encoding and the
@@ -344,6 +350,105 @@ class MultiStartRunner:
         return np.where(stopped, 0, indices), fits, stopped
 
     # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    def _checkpoint_config(self, replicas: int) -> dict:
+        """The runner parameters a checkpoint must match to be resumable."""
+        return {
+            "problem": self.problem.name,
+            "n": self.problem.n,
+            "neighborhood": self.neighborhood.size,
+            "algorithm": self.algorithm,
+            "tenure": self.tenure,
+            "aspiration": self.aspiration,
+            "max_iterations": self.max_iterations,
+            "target_fitness": self.target_fitness,
+            "track_history": self.track_history,
+            "transfer_mode": self.transfer_mode,
+            "replicas": int(replicas),
+        }
+
+    def _restore_checkpoint(self, ckpt: dict) -> dict:
+        """Validate a checkpoint, restore the evaluator, return loop state.
+
+        The evaluator's :meth:`snapshot_state` is installed as a side
+        effect (resident session, tabu stamps, accounting, fleet mask);
+        the returned dict holds the runner-side arrays with their exact
+        dtypes, ready for :meth:`_run_lockstep` to continue from.
+        """
+        if not isinstance(ckpt, dict) or ckpt.get("version") != CHECKPOINT_VERSION:
+            version = ckpt.get("version") if isinstance(ckpt, dict) else None
+            raise ValueError(
+                f"unsupported checkpoint version {version!r}; this build writes "
+                f"version {CHECKPOINT_VERSION}"
+            )
+        state = ckpt["state"]
+        config = ckpt["config"]
+        expected = self._checkpoint_config(len(state["active"]))
+        mismatched = [key for key in expected if config.get(key) != expected[key]]
+        if mismatched:
+            raise ValueError(
+                "checkpoint does not match this runner's configuration; "
+                f"differing keys: {mismatched}"
+            )
+        self.evaluator.restore_state(ckpt["evaluator"])
+        last = state.get("last_applied")
+        return {
+            "lockstep": int(ckpt["lockstep"]),
+            "current": np.asarray(state["current"], dtype=np.int8),
+            "current_fitness": np.asarray(state["current_fitness"], dtype=np.float64),
+            "initial_fitness": np.asarray(state["initial_fitness"], dtype=np.float64),
+            "best": np.asarray(state["best"], dtype=np.int8),
+            "best_fitness": np.asarray(state["best_fitness"], dtype=np.float64),
+            "iterations": np.asarray(state["iterations"], dtype=np.int64),
+            "evaluations": np.asarray(state["evaluations"], dtype=np.int64),
+            "sim_share": np.asarray(state["sim_share"], dtype=np.float64),
+            "wall_share": np.asarray(state["wall_share"], dtype=np.float64),
+            "active": np.asarray(state["active"], dtype=bool),
+            "reasons": np.array([str(r) for r in state["reasons"]], dtype=object),
+            "history_steps": [
+                (np.asarray(movers, dtype=np.int64), np.asarray(vals, dtype=np.float64))
+                for movers, vals in state["history_steps"]
+            ],
+            "last_applied": (
+                np.asarray(last, dtype=np.int64) if last is not None else None
+            ),
+        }
+
+    # ------------------------------------------------------------------
+    def _apply_fault(self, event: FaultEvent, pool) -> None:
+        """Apply one :class:`~repro.gpu.faults.FaultEvent` at a lockstep boundary."""
+        if event.kind in ("fail", "join"):
+            method = getattr(
+                self.evaluator,
+                "fail_device" if event.kind == "fail" else "join_device",
+                None,
+            )
+            if method is None:
+                raise RuntimeError(
+                    f"fault {event} needs a multi-device evaluator, got "
+                    f"{type(self.evaluator).__name__}"
+                )
+            method(event.arg)
+        elif event.kind == "flaky":
+            engine = getattr(getattr(self.evaluator, "pool", None), "engine", None)
+            if engine is None:
+                engine = getattr(
+                    getattr(self.evaluator, "context", None), "engine", None
+                )
+            if engine is None:
+                raise RuntimeError(
+                    f"fault {event} needs a GPU evaluator with a transfer engine, "
+                    f"got {type(self.evaluator).__name__}"
+                )
+            engine.inject_transfer_faults(retries=max(1, event.arg))
+        else:  # kill-worker: a no-op once the run already fell back to local
+            if pool is not None and pool.alive and event.arg < len(pool._procs):
+                proc = pool._procs[event.arg]
+                proc.kill()
+                proc.join(timeout=5)
+
+    # ------------------------------------------------------------------
     def run(
         self,
         replicas: int | None = None,
@@ -351,12 +456,50 @@ class MultiStartRunner:
         seeds: Sequence[int] | None = None,
         rng: np.random.Generator | int | None = None,
         initial_solutions: np.ndarray | None = None,
+        checkpoint_every: int | None = None,
+        checkpoint_callback=None,
+        fault_plan: FaultPlan | str | None = None,
+        resume: dict | None = None,
     ) -> MultiStartResult:
-        """Run all replicas to completion and return their per-replica results."""
+        """Run all replicas to completion and return their per-replica results.
+
+        ``checkpoint_every`` invokes ``checkpoint_callback(checkpoint)`` every
+        that many lockstep iterations with a version-tagged dict capturing the
+        full search state (runner arrays + evaluator session/accounting); feed
+        it to :func:`repro.harness.io.save_checkpoint` or keep it in memory.
+        ``resume`` takes such a checkpoint and continues the run from it — the
+        continuation is bit-identical to the uninterrupted run (trajectories,
+        byte counters, makespans), assuming the evaluator is freshly
+        constructed with the same spec.  ``fault_plan`` (a
+        :class:`~repro.gpu.faults.FaultPlan` or its string syntax) injects
+        failures at lockstep boundaries; see :mod:`repro.gpu.faults`.
+        """
         start_wall = time.perf_counter()
         start_sim = self.evaluator.stats.simulated_time
 
-        current = self._initial_block(replicas, seeds, rng, initial_solutions)
+        if checkpoint_every is not None:
+            if checkpoint_every <= 0:
+                raise ValueError(
+                    f"checkpoint_every must be positive, got {checkpoint_every}"
+                )
+            if checkpoint_callback is None:
+                raise ValueError("checkpoint_every requires a checkpoint_callback")
+        if isinstance(fault_plan, str):
+            fault_plan = FaultPlan.parse(fault_plan)
+        resume_state = None
+        if resume is not None:
+            if any(
+                value is not None
+                for value in (replicas, seeds, rng, initial_solutions)
+            ):
+                raise ValueError(
+                    "resume is mutually exclusive with replicas/seeds/rng/"
+                    "initial_solutions; the checkpoint carries the population"
+                )
+            resume_state = self._restore_checkpoint(resume)
+            current = resume_state["current"]
+        else:
+            current = self._initial_block(replicas, seeds, rng, initial_solutions)
         # Host-parallel sharding: attach the problem to a worker pool for
         # the run's duration so the one batched evaluation per lockstep
         # iteration splits its replica axis across processes.  A no-op
@@ -367,32 +510,66 @@ class MultiStartRunner:
             self.host_workers,
             max_rows=current.shape[0],
             max_moves=self.neighborhood.size,
-        ):
-            return self._run_lockstep(current, start_wall, start_sim)
+        ) as pool:
+            return self._run_lockstep(
+                current,
+                start_wall,
+                start_sim,
+                checkpoint_every=checkpoint_every,
+                checkpoint_callback=checkpoint_callback,
+                fault_plan=fault_plan,
+                resume_state=resume_state,
+                pool=pool,
+            )
 
     def _run_lockstep(
-        self, current: np.ndarray, start_wall: float, start_sim: float
+        self,
+        current: np.ndarray,
+        start_wall: float,
+        start_sim: float,
+        *,
+        checkpoint_every: int | None = None,
+        checkpoint_callback=None,
+        fault_plan: FaultPlan | None = None,
+        resume_state: dict | None = None,
+        pool=None,
     ) -> MultiStartResult:
         """Advance all replicas in lockstep to completion (see :meth:`run`)."""
         num_replicas = current.shape[0]
         size = self.neighborhood.size
         mapping = self.neighborhood.mapping
 
-        current_fitness = np.asarray(self.problem.evaluate_batch(current), dtype=np.float64)
-        initial_fitness = current_fitness.copy()
-        best = current.copy()
-        best_fitness = current_fitness.copy()
+        resuming = resume_state is not None
+        if resuming:
+            current_fitness = resume_state["current_fitness"]
+            initial_fitness = resume_state["initial_fitness"]
+            best = resume_state["best"]
+            best_fitness = resume_state["best_fitness"]
+            iterations = resume_state["iterations"]
+            evaluations = resume_state["evaluations"]
+            sim_share = resume_state["sim_share"]
+            wall_share = resume_state["wall_share"]
+            active = resume_state["active"]
+            reasons = resume_state["reasons"]
+            history_steps = resume_state["history_steps"]
+        else:
+            current_fitness = np.asarray(
+                self.problem.evaluate_batch(current), dtype=np.float64
+            )
+            initial_fitness = current_fitness.copy()
+            best = current.copy()
+            best_fitness = current_fitness.copy()
 
-        iterations = np.zeros(num_replicas, dtype=np.int64)
-        evaluations = np.zeros(num_replicas, dtype=np.int64)
-        sim_share = np.zeros(num_replicas, dtype=np.float64)
-        wall_share = np.zeros(num_replicas, dtype=np.float64)
-        active = np.ones(num_replicas, dtype=bool)
-        reasons = np.array(["max_iterations"] * num_replicas, dtype=object)
-        # Per-lockstep (movers, best-so-far) snapshots; the per-replica
-        # history lists are assembled vectorized after the loop instead of
-        # appending row by row inside it.
-        history_steps: list[tuple[np.ndarray, np.ndarray]] = []
+            iterations = np.zeros(num_replicas, dtype=np.int64)
+            evaluations = np.zeros(num_replicas, dtype=np.int64)
+            sim_share = np.zeros(num_replicas, dtype=np.float64)
+            wall_share = np.zeros(num_replicas, dtype=np.float64)
+            active = np.ones(num_replicas, dtype=bool)
+            reasons = np.array(["max_iterations"] * num_replicas, dtype=object)
+            # Per-lockstep (movers, best-so-far) snapshots; the per-replica
+            # history lists are assembled vectorized after the loop instead of
+            # appending row by row inside it.
+            history_steps = []
 
         resident = self.transfer_mode != "full"
         reduced_path = self.transfer_mode in REDUCED_SELECTION_MODES
@@ -404,20 +581,26 @@ class MultiStartRunner:
             and self.algorithm == "tabu"
             and hasattr(self.evaluator, "init_tabu_memory")
         )
-        last_applied = (
-            np.full((num_replicas, size), _NEVER, dtype=np.int64)
-            if self.algorithm == "tabu" and not device_tabu
-            else None
-        )
-        if resident:
-            # The whole (R, n) block crosses PCIe once; afterwards only
-            # flipped-bit deltas go up ("persistent" additionally opens the
-            # run's single persistent launch).
-            self.evaluator.begin_search(
-                current, persistent=self.transfer_mode == "persistent"
+        if resuming:
+            # The evaluator restore already reinstalled the resident session
+            # (and tabu memory) exactly as snapshotted — re-running
+            # begin_search would re-charge the upload.
+            last_applied = resume_state["last_applied"]
+        else:
+            last_applied = (
+                np.full((num_replicas, size), _NEVER, dtype=np.int64)
+                if self.algorithm == "tabu" and not device_tabu
+                else None
             )
-            if device_tabu:
-                self.evaluator.init_tabu_memory(self.tenure)
+            if resident:
+                # The whole (R, n) block crosses PCIe once; afterwards only
+                # flipped-bit deltas go up ("persistent" additionally opens the
+                # run's single persistent launch).
+                self.evaluator.begin_search(
+                    current, persistent=self.transfer_mode == "persistent"
+                )
+                if device_tabu:
+                    self.evaluator.init_tabu_memory(self.tenure)
 
         rebalance = (
             self.rebalance_every
@@ -427,7 +610,36 @@ class MultiStartRunner:
             else None
         )
 
-        lockstep = 0
+        def take_checkpoint() -> dict:
+            return {
+                "version": CHECKPOINT_VERSION,
+                "config": self._checkpoint_config(num_replicas),
+                "lockstep": int(lockstep),
+                "state": {
+                    "current": current.copy(),
+                    "current_fitness": current_fitness.copy(),
+                    "initial_fitness": initial_fitness.copy(),
+                    "best": best.copy(),
+                    "best_fitness": best_fitness.copy(),
+                    "iterations": iterations.copy(),
+                    "evaluations": evaluations.copy(),
+                    "sim_share": sim_share.copy(),
+                    "wall_share": wall_share.copy(),
+                    "active": active.copy(),
+                    "reasons": [str(r) for r in reasons],
+                    "history_steps": [
+                        (movers.copy(), vals.copy())
+                        for movers, vals in history_steps
+                    ],
+                    "last_applied": (
+                        last_applied.copy() if last_applied is not None else None
+                    ),
+                },
+                "evaluator": self.evaluator.snapshot_state(),
+            }
+
+        lockstep = resume_state["lockstep"] if resuming else 0
+        resumed_at = lockstep if resuming else -1
         while True:
             # Per-replica stopping checks, in the scalar loop's order:
             # target first, then the iteration cap.
@@ -437,6 +649,19 @@ class MultiStartRunner:
             active &= ~(reached | capped)
             if not active.any():
                 break
+            # Checkpoint before same-boundary faults: a resumed run re-applies
+            # the faults due at the checkpointed lockstep, replaying exactly
+            # what the uninterrupted run did after taking the checkpoint.
+            if (
+                checkpoint_every
+                and lockstep
+                and lockstep % checkpoint_every == 0
+                and lockstep != resumed_at
+            ):
+                checkpoint_callback(take_checkpoint())
+            if fault_plan is not None:
+                for event in fault_plan.due(lockstep):
+                    self._apply_fault(event, pool)
             if rebalance and lockstep and lockstep % rebalance == 0:
                 # Timing/placement only: keep the still-active replicas split
                 # proportionally to device throughput (trajectories unchanged).

@@ -14,6 +14,7 @@ from .pool import (
     HOST_WORKERS_ENV,
     MIN_WORK_ENV,
     HostWorkerPool,
+    WorkerDied,
     get_host_pool,
     host_parallel,
     resolve_host_workers,
@@ -26,6 +27,7 @@ __all__ = [
     "HOST_WORKERS_ENV",
     "MIN_WORK_ENV",
     "HostWorkerPool",
+    "WorkerDied",
     "get_host_pool",
     "host_parallel",
     "resolve_host_workers",

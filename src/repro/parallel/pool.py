@@ -44,6 +44,7 @@ import contextlib
 import multiprocessing
 import os
 import traceback
+import warnings
 from multiprocessing import shared_memory
 
 import numpy as np
@@ -53,12 +54,23 @@ __all__ = [
     "HOST_WORKERS_ENV",
     "MIN_WORK_ENV",
     "HostWorkerPool",
+    "WorkerDied",
     "get_host_pool",
     "host_parallel",
     "resolve_host_workers",
     "shard_bounds",
     "shutdown_host_pool",
 ]
+
+
+class WorkerDied(RuntimeError):
+    """A pool worker process exited (or was killed) mid-protocol.
+
+    Raised after the pool has already torn itself down: the shared-memory
+    blocks may hold rows the dead worker never wrote, so the pool can never
+    be trusted again.  ``try_evaluate`` converts this into a declined call
+    (``None``) so callers transparently fall back to local evaluation.
+    """
 
 #: Uncapped worker-count override (see :func:`resolve_host_workers`).
 HOST_WORKERS_ENV = "REPRO_HOST_WORKERS"
@@ -78,17 +90,32 @@ def resolve_host_workers(requested: int | None = None) -> int:
     count (containers frequently underreport; the identity tests rely on
     forcing real sharding on single-core CI runners).  An explicit request
     is capped at ``os.cpu_count()``; no request means single-process.
+
+    An explicit request is validated *before* the environment override is
+    consulted (``host_workers=0`` is a programming error either way), and
+    when both are set and disagree a single :class:`RuntimeWarning` records
+    that the environment won — a silently overridden experiment config is
+    otherwise very hard to diagnose.
     """
+    if requested is not None and requested < 1:
+        raise ValueError(f"host_workers must be >= 1, got {requested}")
     env = os.environ.get(HOST_WORKERS_ENV)
     if env is not None:
         try:
-            return max(1, int(env))
+            value = int(env)
         except ValueError:
             raise ValueError(f"{HOST_WORKERS_ENV} must be an integer, got {env!r}") from None
+        effective = max(1, value)
+        if requested is not None and effective != int(requested):
+            warnings.warn(
+                f"{HOST_WORKERS_ENV}={env} overrides host_workers={requested}: "
+                f"using {effective} worker(s)",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+        return effective
     if requested is None:
         return 1
-    if requested < 1:
-        raise ValueError(f"host_workers must be >= 1, got {requested}")
     return max(1, min(int(requested), os.cpu_count() or 1))
 
 
@@ -184,6 +211,11 @@ class HostWorkerPool:
         self._attached = None
         self._tables: dict[int, np.ndarray] = {}
         self._closed = False
+        # Only the creating process may tear the pool down: forked children
+        # inherit this object (and the module atexit hook), and a child
+        # unlinking the shared-memory blocks would pull them out from under
+        # the parent mid-run.
+        self._owner_pid = os.getpid()
         ctx = multiprocessing.get_context("fork")
         self._sol_shm = shared_memory.SharedMemory(create=True, size=max(1, solution_capacity))
         self._out_shm = shared_memory.SharedMemory(create=True, size=max(8, out_capacity * 8))
@@ -207,27 +239,43 @@ class HostWorkerPool:
 
     # -- command plumbing ------------------------------------------------
     def _broadcast(self, msg: tuple) -> None:
-        """Send ``msg`` to every worker and collect every ack."""
+        """Send ``msg`` to every worker and collect every ack.
+
+        A worker raising inside a command stays alive and acks a traceback:
+        the pool raises but remains usable.  A worker *dying* (closed pipe)
+        leaves its shared-memory shard in an unknown state — the pool shuts
+        itself down before raising :class:`WorkerDied`, so no later call can
+        read stale fitness rows the dead worker never wrote.
+        """
         for conn in self._conns:
             # A dead worker closes its pipe end; the recv loop below turns
             # that into a clean "worker died" error instead of a raw EPIPE.
             with contextlib.suppress(OSError, BrokenPipeError):
                 conn.send(msg)
         errors = []
+        deaths = False
         for worker_id, conn in enumerate(self._conns):
             try:
                 ack = conn.recv()
             except (EOFError, OSError):
                 errors.append(f"worker {worker_id} died")
+                deaths = True
                 continue
             if ack[0] != "ok":
                 errors.append(f"worker {worker_id}: {ack[1]}")
+        if deaths:
+            self.shutdown()
+            raise WorkerDied("host worker pool failure:\n" + "\n".join(errors))
         if errors:
             raise RuntimeError("host worker pool failure:\n" + "\n".join(errors))
 
     # -- lifecycle -------------------------------------------------------
     @property
     def alive(self) -> bool:
+        # ``Process.is_alive`` may only be called from the parent; a forked
+        # child inheriting this object must treat the pool as unusable.
+        if os.getpid() != self._owner_pid:
+            return False
         return not self._closed and all(p.is_alive() for p in self._procs)
 
     def attach(self, problem) -> None:
@@ -250,7 +298,14 @@ class HostWorkerPool:
             self._attached = None
 
     def shutdown(self) -> None:
-        """Stop the workers and release the shared-memory blocks."""
+        """Stop the workers and release the shared-memory blocks.
+
+        A no-op in any process other than the creator: forked children
+        inherit the pool object and the module atexit hook, and must not
+        ``unlink()`` shared memory the parent is still evaluating through.
+        """
+        if os.getpid() != self._owner_pid:
+            return
         if self._closed:
             return
         self._closed = True
@@ -319,10 +374,16 @@ class HostWorkerPool:
             return None
         if num_rows * n > self.solution_capacity or num_rows * num_moves > self.out_capacity:
             return None
-        key = self._ensure_table(moves)
-        sol_view = np.ndarray((num_rows, n), dtype=np.int8, buffer=self._sol_shm.buf)
-        np.copyto(sol_view, solutions)
-        self._broadcast(("eval", num_rows, n, num_moves, key))
+        try:
+            key = self._ensure_table(moves)
+            sol_view = np.ndarray((num_rows, n), dtype=np.int8, buffer=self._sol_shm.buf)
+            np.copyto(sol_view, solutions)
+            self._broadcast(("eval", num_rows, n, num_moves, key))
+        except WorkerDied:
+            # The pool already shut itself down (shared memory released, so
+            # no stale rows can leak); decline and let the caller evaluate
+            # this batch — and every later one — locally.
+            return None
         out_view = np.ndarray((num_rows, num_moves), dtype=np.float64, buffer=self._out_shm.buf)
         self.dispatch_count += 1
         if out is None:
@@ -352,6 +413,11 @@ def get_host_pool(
     if "fork" not in multiprocessing.get_all_start_methods():  # pragma: no cover
         return None
     pool = _POOL
+    if pool is not None and pool._owner_pid != os.getpid():
+        # Inherited from a parent process across a fork: the workers and the
+        # shared memory belong to the parent.  Drop the reference without
+        # shutting down (which would race the parent) and fork a fresh pool.
+        pool = _POOL = None
     if (
         pool is not None
         and pool.alive
@@ -402,7 +468,11 @@ def host_parallel(problem, host_workers: int | None = None, *, max_rows: int, ma
     if pool is None:  # pragma: no cover - fork-less platform
         yield None
         return
-    pool.attach(problem)
+    try:
+        pool.attach(problem)
+    except WorkerDied:  # pragma: no cover - death between fork and attach
+        yield None
+        return
     try:
         yield pool
     finally:

@@ -6,6 +6,8 @@ and drop the dispatch threshold to one element — exactly the escape hatches
 the pool documents for this purpose.
 """
 
+import warnings
+
 import numpy as np
 import pytest
 
@@ -15,6 +17,7 @@ from repro.localsearch.multistart import MultiStartRunner
 from repro.parallel import (
     DEFAULT_MIN_WORK,
     HostWorkerPool,
+    WorkerDied,
     host_parallel,
     resolve_host_workers,
     shard_bounds,
@@ -41,7 +44,8 @@ def test_resolve_host_workers_semantics(monkeypatch):
     # The environment override wins and is deliberately uncapped.
     monkeypatch.setenv("REPRO_HOST_WORKERS", "6")
     assert resolve_host_workers(None) == 6
-    assert resolve_host_workers(2) == 6
+    with pytest.warns(RuntimeWarning, match="overrides host_workers=2"):
+        assert resolve_host_workers(2) == 6
     monkeypatch.setenv("REPRO_HOST_WORKERS", "not-a-number")
     with pytest.raises(ValueError):
         resolve_host_workers(None)
@@ -127,6 +131,97 @@ def test_worker_errors_surface_in_parent(monkeypatch):
         pool.shutdown()
 
 
+def test_resolve_host_workers_env_override_warns(monkeypatch):
+    monkeypatch.setenv("REPRO_HOST_WORKERS", "6")
+    # Disagreement between an explicit request and the environment override
+    # is recorded (a silently rewritten experiment config is hard to debug).
+    with pytest.warns(RuntimeWarning, match="REPRO_HOST_WORKERS=6 overrides"):
+        assert resolve_host_workers(2) == 6
+    # Agreement warns nothing.
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        assert resolve_host_workers(6) == 6
+        assert resolve_host_workers(None) == 6
+    # A non-positive override clamps to single-process (and still warns on
+    # disagreement with an explicit request).
+    monkeypatch.setenv("REPRO_HOST_WORKERS", "-3")
+    with pytest.warns(RuntimeWarning):
+        assert resolve_host_workers(4) == 1
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        assert resolve_host_workers(None) == 1
+    # An invalid explicit request is rejected before the env is consulted.
+    with pytest.raises(ValueError, match="host_workers"):
+        resolve_host_workers(0)
+    with pytest.raises(ValueError, match="host_workers"):
+        resolve_host_workers(-2)
+
+
+def test_forked_child_never_unlinks_parent_shm(monkeypatch):
+    monkeypatch.setenv("REPRO_HOST_MIN_WORK", "1")
+    problem = UBQP.random(10, rng=12)
+    pool = HostWorkerPool(2, solution_capacity=4 * 10, out_capacity=4 * 8)
+    try:
+        pool.attach(problem)
+        # A forked child inherits the pool object and the module atexit
+        # hook; its shutdown must be a no-op so the parent's shared memory
+        # and workers survive the child's exit.
+        ctx = pool_mod.multiprocessing.get_context("fork")
+        child = ctx.Process(target=_child_shutdown_attempt, args=(pool,))
+        child.start()
+        child.join(timeout=10)
+        assert child.exitcode == 0
+        assert pool.alive
+        rng = np.random.default_rng(13)
+        solutions = rng.integers(0, 2, size=(4, 10), dtype=np.int8)
+        moves = _frozen_pairs(rng, 10, 8)
+        sharded = pool.try_evaluate(problem, solutions, moves)
+        assert sharded is not None  # the pool still works after the fork
+    finally:
+        pool.shutdown()
+
+
+def _child_shutdown_attempt(pool):
+    # Runs in the forked child: the inherited pool must present as unusable
+    # and both teardown paths must refuse to touch it (shutdown returns
+    # without unlinking the parent's shared memory or stopping its workers).
+    import sys
+
+    if pool.alive:  # non-owner process: must never report alive
+        sys.exit(2)
+    pool.shutdown()
+    shutdown_host_pool()  # the module atexit hook takes this same path
+    sys.exit(0)
+
+
+def test_kill_worker_mid_run_is_bit_identical(monkeypatch):
+    # A worker killed between lockstep iterations: the runner's fault hook
+    # kills it, the next dispatch detects the death, the pool tears itself
+    # down and every later batch evaluates locally — same trajectories.
+    monkeypatch.setenv("REPRO_HOST_WORKERS", "2")
+    monkeypatch.setenv("REPRO_HOST_MIN_WORK", "1")
+    from repro.core.evaluators import CPUEvaluator
+    from repro.neighborhoods import KHammingNeighborhood
+
+    def make_runner():
+        problem = UBQP.random(14, rng=20)
+        neighborhood = KHammingNeighborhood(problem.n, 2)
+        return MultiStartRunner(
+            CPUEvaluator(problem, neighborhood),
+            max_iterations=12,
+            target_fitness=float("-inf"),
+        )
+
+    monkeypatch.delenv("REPRO_HOST_WORKERS", raising=False)
+    reference = make_runner().run(seeds=[1, 2, 3, 4])
+    monkeypatch.setenv("REPRO_HOST_WORKERS", "2")
+    runner = make_runner()
+    result = runner.run(seeds=[1, 2, 3, 4], fault_plan="kill-worker:0@4")
+    assert [r.best_fitness for r in result] == [r.best_fitness for r in reference]
+    assert [r.iterations for r in result] == [r.iterations for r in reference]
+    shutdown_host_pool()
+
+
 def test_min_work_threshold_env_validation(monkeypatch):
     monkeypatch.delenv("REPRO_HOST_MIN_WORK", raising=False)
     assert pool_mod._min_work() == DEFAULT_MIN_WORK
@@ -168,8 +263,29 @@ def test_dead_worker_reported_cleanly(monkeypatch):
         rng = np.random.default_rng(9)
         solutions = rng.integers(0, 2, size=(4, 10), dtype=np.int8)
         moves = _frozen_pairs(rng, 10, 8)
-        with pytest.raises(RuntimeError, match="worker 0 died"):
-            pool.try_evaluate(problem, solutions, moves)
+        # The death surfaces mid-broadcast as WorkerDied; try_evaluate
+        # swallows it and declines the batch, so the caller falls back to
+        # local evaluation instead of seeing a raw EPIPE.
+        assert pool.try_evaluate(problem, solutions, moves) is None
+        # The pool tore itself down before declining: its shared memory may
+        # hold rows the dead worker never wrote, so it must never be reused.
+        assert not pool.alive
+        assert pool._closed
+    finally:
+        pool.shutdown()
+
+
+def test_dead_worker_raises_workerdied_on_attach():
+    problem = UBQP.random(10, rng=8)
+    pool = HostWorkerPool(2, solution_capacity=4 * 10, out_capacity=4 * 8)
+    try:
+        victim = pool._procs[1]
+        victim.terminate()
+        victim.join(timeout=5)
+        # Outside the try_evaluate fallback path the death is a hard error.
+        with pytest.raises(WorkerDied, match="worker 1 died"):
+            pool.attach(problem)
+        assert not pool.alive
     finally:
         pool.shutdown()
 

@@ -1,0 +1,259 @@
+"""Checkpoint/restore and fault-tolerance guarantees of the lockstep runner.
+
+The contract under test: a run that is checkpointed, killed (the runner and
+evaluator objects discarded) and restored into a *fresh* runner finishes
+bit-identically to an uninterrupted run — trajectories, per-replica records,
+transfer byte counters and simulated makespans.  Fault injection (device
+death, elastic join, flaky transfers, killed host workers) preserves the
+trajectories exactly and changes timing/placement only.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.evaluators import GPUEvaluator, MultiGPUEvaluator
+from repro.gpu import FaultPlan
+from repro.harness.io import load_checkpoint, save_checkpoint
+from repro.localsearch.multistart import CHECKPOINT_VERSION, MultiStartRunner
+from repro.neighborhoods import KHammingNeighborhood
+from repro.problems import UBQP
+
+MODES = ("full", "delta", "reduced", "persistent")
+SEEDS = [11, 12, 13, 14, 15, 16]
+
+
+def make_runner(mode, *, devices=3, rebalance_every=7, active_devices=None):
+    problem = UBQP.random(16, rng=3)
+    neighborhood = KHammingNeighborhood(problem.n, 2)
+    evaluator = MultiGPUEvaluator(
+        problem, neighborhood, devices=devices, active_devices=active_devices
+    )
+    return MultiStartRunner(
+        evaluator,
+        max_iterations=30,
+        transfer_mode=mode,
+        rebalance_every=rebalance_every,
+        target_fitness=float("-inf"),
+    )
+
+
+def run_signature(runner, result):
+    """Everything the bit-identical guarantee covers, in comparable form."""
+    contexts = list(runner.evaluator.pool.contexts)
+    return {
+        "best": [r.best_fitness for r in result],
+        "iterations": [r.iterations for r in result],
+        "reasons": [r.stopping_reason for r in result],
+        "simulated_time": result.simulated_time,
+        "h2d": sum(ctx.stats.h2d_bytes for ctx in contexts),
+        "d2h": sum(ctx.stats.d2h_bytes for ctx in contexts),
+        "p2p": sum(ctx.stats.p2p_bytes for ctx in contexts),
+        "launches": sum(ctx.stats.kernel_launches for ctx in contexts),
+        "makespan": max(ctx.timeline.elapsed for ctx in contexts),
+    }
+
+
+class TestCheckpointRestore:
+    @pytest.mark.parametrize("mode", MODES)
+    def test_killed_and_restored_run_is_bit_identical(self, mode, tmp_path):
+        reference = make_runner(mode)
+        ref_sig = run_signature(reference, reference.run(seeds=SEEDS))
+
+        # Checkpoint mid-run, then "kill" the run: the runner and evaluator
+        # objects are dropped and the checkpoint survives only as JSON.
+        checkpoints = []
+        interrupted = make_runner(mode)
+        interrupted.run(
+            seeds=SEEDS, checkpoint_every=10, checkpoint_callback=checkpoints.append
+        )
+        assert checkpoints, "the run never reached a checkpoint boundary"
+        path = tmp_path / "checkpoint.json"
+        save_checkpoint(path, checkpoints[0])
+        del interrupted
+
+        restored = make_runner(mode)
+        result = restored.run(resume=load_checkpoint(path))
+        assert run_signature(restored, result) == ref_sig
+
+    def test_checkpoint_is_versioned(self):
+        runner = make_runner("delta")
+        checkpoints = []
+        runner.run(seeds=SEEDS, checkpoint_every=10, checkpoint_callback=checkpoints.append)
+        bad = dict(checkpoints[0])
+        bad["version"] = CHECKPOINT_VERSION + 1
+        with pytest.raises(ValueError, match="checkpoint version"):
+            make_runner("delta").run(resume=bad)
+
+    def test_checkpoint_config_mismatch_rejected(self):
+        runner = make_runner("delta")
+        checkpoints = []
+        runner.run(seeds=SEEDS, checkpoint_every=10, checkpoint_callback=checkpoints.append)
+        other = make_runner("reduced")
+        with pytest.raises(ValueError, match="transfer_mode"):
+            other.run(resume=checkpoints[0])
+
+    def test_resume_excludes_population_arguments(self):
+        runner = make_runner("delta")
+        checkpoints = []
+        runner.run(seeds=SEEDS, checkpoint_every=10, checkpoint_callback=checkpoints.append)
+        with pytest.raises(ValueError, match="mutually exclusive"):
+            make_runner("delta").run(seeds=SEEDS, resume=checkpoints[0])
+
+    def test_checkpoint_every_requires_callback(self):
+        with pytest.raises(ValueError, match="checkpoint_callback"):
+            make_runner("delta").run(seeds=SEEDS, checkpoint_every=5)
+        with pytest.raises(ValueError, match="positive"):
+            make_runner("delta").run(
+                seeds=SEEDS, checkpoint_every=0, checkpoint_callback=lambda c: None
+            )
+
+    def test_single_gpu_checkpoint_restores_too(self):
+        def make():
+            problem = UBQP.random(14, rng=5)
+            neighborhood = KHammingNeighborhood(problem.n, 2)
+            return MultiStartRunner(
+                GPUEvaluator(problem, neighborhood),
+                max_iterations=25,
+                transfer_mode="delta",
+                target_fitness=float("-inf"),
+            )
+
+        reference = make()
+        ref = reference.run(seeds=SEEDS)
+        checkpoints = []
+        make().run(seeds=SEEDS, checkpoint_every=8, checkpoint_callback=checkpoints.append)
+        restored = make()
+        result = restored.run(resume=checkpoints[0])
+        assert [r.best_fitness for r in result] == [r.best_fitness for r in ref]
+        assert result.simulated_time == ref.simulated_time
+        assert (
+            restored.evaluator.context.stats.h2d_bytes
+            == reference.evaluator.context.stats.h2d_bytes
+        )
+
+
+class TestFaultRecovery:
+    @pytest.mark.parametrize("mode", ("full", "delta", "reduced"))
+    @pytest.mark.parametrize("at", (14, 6))  # rebalance boundary (7*2) vs mid-interval
+    def test_device_death_preserves_trajectories(self, mode, at):
+        reference = make_runner(mode)
+        ref = reference.run(seeds=SEEDS)
+        faulted = make_runner(mode)
+        result = faulted.run(seeds=SEEDS, fault_plan=f"fail:1@{at}")
+        assert [r.best_fitness for r in result] == [r.best_fitness for r in ref]
+        assert [r.iterations for r in result] == [r.iterations for r in ref]
+        assert faulted.evaluator.device_active == (True, False, True)
+
+    def test_join_extends_the_fleet_mid_run(self):
+        reference = make_runner("delta")
+        ref = reference.run(seeds=SEEDS)
+        elastic = make_runner("delta", active_devices=[0, 1])
+        result = elastic.run(seeds=SEEDS, fault_plan="join:2@10")
+        assert [r.best_fitness for r in result] == [r.best_fitness for r in ref]
+        assert elastic.evaluator.device_active == (True, True, True)
+
+    def test_flaky_transfers_are_timing_only(self):
+        reference = make_runner("delta")
+        ref = reference.run(seeds=SEEDS)
+        faulted = make_runner("delta")
+        result = faulted.run(seeds=SEEDS, fault_plan="flaky:2@3")
+        assert [r.best_fitness for r in result] == [r.best_fitness for r in ref]
+        assert faulted.evaluator.pool.engine.retried_transfers == 2
+        assert result.simulated_time > ref.simulated_time
+
+    @pytest.mark.parametrize("mode", ("delta", "reduced"))
+    def test_restore_across_a_fault_boundary(self, mode, tmp_path):
+        plan = "fail:1@10,join:1@20"
+        reference = make_runner(mode)
+        ref_sig = run_signature(reference, reference.run(seeds=SEEDS, fault_plan=plan))
+
+        checkpoints = []
+        make_runner(mode).run(
+            seeds=SEEDS,
+            fault_plan=plan,
+            checkpoint_every=10,
+            checkpoint_callback=checkpoints.append,
+        )
+        path = tmp_path / "checkpoint.json"
+        save_checkpoint(path, checkpoints[0])
+        restored = make_runner(mode)
+        # The resumed run re-applies the fault due at the checkpointed
+        # boundary, replaying exactly what the original did after saving.
+        result = restored.run(resume=load_checkpoint(path), fault_plan=plan)
+        assert run_signature(restored, result) == ref_sig
+
+    def test_fail_validation(self):
+        runner = make_runner("delta")
+        evaluator = runner.evaluator
+        with pytest.raises(ValueError, match="out of range"):
+            evaluator.fail_device(7)
+        evaluator.fail_device(0)
+        with pytest.raises(ValueError, match="already inactive"):
+            evaluator.fail_device(0)
+        evaluator.fail_device(1)
+        with pytest.raises(RuntimeError, match="last active device"):
+            evaluator.fail_device(2)
+        with pytest.raises(ValueError, match="already active"):
+            evaluator.join_device(2)
+
+    def test_persistent_sessions_reject_device_failures(self):
+        runner = make_runner("persistent", rebalance_every=None)
+        evaluator = runner.evaluator
+        problem = runner.problem
+        block = np.stack([problem.random_solution(s) for s in range(4)])
+        evaluator.begin_search(block, persistent=True)
+        try:
+            with pytest.raises(RuntimeError, match="persistent"):
+                evaluator.fail_device(0)
+            # The mask must be untouched by the refused failure.
+            assert evaluator.device_active == (True, True, True)
+        finally:
+            evaluator.end_search()
+
+    def test_fault_plan_object_accepted(self):
+        runner = make_runner("delta")
+        result = runner.run(seeds=SEEDS, fault_plan=FaultPlan.parse("flaky:1@2"))
+        assert runner.evaluator.pool.engine.retried_transfers == 1
+        assert len(result) == len(SEEDS)
+
+    def test_device_faults_need_a_multi_device_evaluator(self):
+        problem = UBQP.random(12, rng=4)
+        neighborhood = KHammingNeighborhood(problem.n, 2)
+        runner = MultiStartRunner(
+            GPUEvaluator(problem, neighborhood),
+            max_iterations=10,
+            target_fitness=float("-inf"),
+        )
+        with pytest.raises(RuntimeError, match="multi-device"):
+            runner.run(seeds=SEEDS[:3], fault_plan="fail:0@2")
+
+
+class TestElasticPartitions:
+    def test_partial_fleet_from_construction(self):
+        runner = make_runner("delta", active_devices=[1])
+        result = runner.run(seeds=SEEDS)
+        reference = make_runner("delta")
+        ref = reference.run(seeds=SEEDS)
+        assert [r.best_fitness for r in result] == [r.best_fitness for r in ref]
+        # Inactive devices never receive work.
+        contexts = runner.evaluator.pool.contexts
+        assert contexts[0].stats.kernel_launches == 0
+        assert contexts[2].stats.kernel_launches == 0
+        assert contexts[1].stats.kernel_launches > 0
+
+    def test_active_devices_validation(self):
+        problem = UBQP.random(12, rng=4)
+        neighborhood = KHammingNeighborhood(problem.n, 2)
+        with pytest.raises(ValueError, match="out of range"):
+            MultiGPUEvaluator(problem, neighborhood, devices=2, active_devices=[5])
+        with pytest.raises(ValueError, match="at least one"):
+            MultiGPUEvaluator(problem, neighborhood, devices=2, active_devices=[])
+
+    def test_full_fleet_partitioner_matches_pool(self):
+        runner = make_runner("delta")
+        evaluator = runner.evaluator
+        parts = evaluator._partitions(100)
+        pool_parts = evaluator.pool.partitions(100, evaluator._kernel_cost())
+        assert [(p.start, p.stop) for p in parts] == [
+            (p.start, p.stop) for p in pool_parts
+        ]
