@@ -8,8 +8,12 @@ the hot-loop rework — precompiled per-problem delta evaluators, cached
 kernel move tables and array-backed timeline accounting — against the
 recorded pre-change numbers, and reports lockstep iterations per second.
 
-Two further sections cover this round of host-side engineering:
+Three further sections cover the rounds of host-side engineering since:
 
+* The incremental section measures the gain-cache engine
+  (:mod:`repro.problems.incremental`, the default) against the full
+  per-iteration ``(S, M)`` recompute (``REPRO_INCREMENTAL=0``) — live, and
+  against the recorded recompute walls of the previous round.
 * ``--workers`` runs the same protocol with the lockstep batch sharded
   across host worker processes (``REPRO_HOST_WORKERS``; see
   :mod:`repro.parallel`) and records the scaling matrix.  Single-core
@@ -70,6 +74,31 @@ PRE_CHANGE_WALL_S = {
     "persistent": 12.226,
 }
 
+#: Full-protocol walls of the per-iteration recompute (the previous round's
+#: default, now reachable via ``REPRO_INCREMENTAL=0``), recorded on the
+#: reference machine.  The incremental gain-cache engine is measured against
+#: these and against a live recompute run.
+RECORDED_RECOMPUTE_WALL_S = {
+    "full": 0.885,
+    "delta": 0.862,
+    "reduced": 0.856,
+    "persistent": 0.858,
+}
+
+#: Eval-vs-bookkeeping split of the hot loop, measured by
+#: ``benchmarks/profile_hotloop.py`` (delta mode, 50 trials, cap 40, under
+#: cProfile) on the reference machine.  With the recompute, the kernel-body
+#: evaluation math dominates at 91% of the profiled wall; the incremental
+#: engine removes most of it and leaves a 73/27 split at a much smaller
+#: absolute wall.
+PROFILE_HOTLOOP_RECORDED = {
+    "mode": "delta",
+    "trials": 50,
+    "max_iterations": 40,
+    "recompute": {"wall_s": 0.816, "eval_wall_s": 0.746, "eval_fraction": 0.91},
+    "incremental": {"wall_s": 0.322, "eval_wall_s": 0.237, "eval_fraction": 0.73},
+}
+
 #: Full-protocol wall clocks per host worker count, recorded on the
 #: multicore reference machine (the CI container may expose a single core,
 #: where forked workers only add overhead — live numbers are still written
@@ -106,16 +135,28 @@ FAST_SCORER_PROBLEMS = {
 }
 
 
-def run_mode(mode: str, trials: int, max_iterations: int, workers: int = 1) -> dict:
+def run_mode(
+    mode: str,
+    trials: int,
+    max_iterations: int,
+    workers: int = 1,
+    incremental: bool = True,
+) -> dict:
     """One batched GPU experiment under ``mode``; wall-clock accounting only.
 
     ``workers > 1`` shards the lockstep batch across that many host worker
     processes via the uncapped ``REPRO_HOST_WORKERS`` override (trajectories
     and simulated accounting stay bit-identical; only the wall clock moves).
+    ``incremental=False`` disables the gain-cache engine for the run
+    (``REPRO_INCREMENTAL=0``) to measure the full per-iteration recompute —
+    the same bit-identity guarantee applies.
     """
     saved = os.environ.get(HOST_WORKERS_ENV)
+    saved_incremental = os.environ.get("REPRO_INCREMENTAL")
     if workers > 1:
         os.environ[HOST_WORKERS_ENV] = str(workers)
+    if not incremental:
+        os.environ["REPRO_INCREMENTAL"] = "0"
     try:
         start = time.perf_counter()
         row = run_ppp_experiment(
@@ -134,6 +175,11 @@ def run_mode(mode: str, trials: int, max_iterations: int, workers: int = 1) -> d
                 os.environ.pop(HOST_WORKERS_ENV, None)
             else:
                 os.environ[HOST_WORKERS_ENV] = saved
+        if not incremental:
+            if saved_incremental is None:
+                os.environ.pop("REPRO_INCREMENTAL", None)
+            else:
+                os.environ["REPRO_INCREMENTAL"] = saved_incremental
     lockstep_iterations = max(int(round(row.mean_iterations)), 1) + 1  # + initial block
     return {
         "wall_s": wall_s,
@@ -204,7 +250,32 @@ def _timed(fn) -> float:
 def measure(*, smoke: bool = False, workers_list: list[int] | None = None) -> dict:
     trials = SMOKE_TRIALS if smoke else TRIALS
     max_iterations = SMOKE_MAX_ITERATIONS if smoke else MAX_ITERATIONS
-    modes = {mode: run_mode(mode, trials, max_iterations) for mode in TRANSFER_MODES}
+    # The gain-cache engine is the default: "modes" is the incremental
+    # configuration.  The recompute rows re-run the same protocol with
+    # REPRO_INCREMENTAL=0 — the previous round's hot loop — so the JSON
+    # always carries the live pair behind the incremental speedup claim.
+    # Full-protocol rows are the fastest of five passes after a warm-up run
+    # (scorer builds, move-table caches, NumPy internals): the protocol
+    # measures the steady-state loop floor, and single passes are exposed to
+    # container scheduling noise (the engine rows finish in ~0.3s on the
+    # reference box, so one descheduling event is a 20-40% relative error).
+    # The same pass count applies to the incremental and recompute rows —
+    # min-of-N estimates the quiet-machine floor for both sides of the
+    # speedup symmetrically.  Smoke rows stay single-pass — the CI guard
+    # budget is deliberately loose.
+    passes = 1 if smoke else 5
+    if not smoke:
+        run_mode(TRANSFER_MODES[0], 2, 2)
+
+    def best_of(mode: str, incremental: bool) -> dict:
+        runs = [
+            run_mode(mode, trials, max_iterations, incremental=incremental)
+            for _ in range(passes)
+        ]
+        return min(runs, key=lambda run: run["wall_s"])
+
+    modes = {mode: best_of(mode, True) for mode in TRANSFER_MODES}
+    recompute = {mode: best_of(mode, False) for mode in TRANSFER_MODES}
     payload = {
         "benchmark": "simulator_wall_clock",
         "instance": {"m": SPEC[0], "n": SPEC[1], "order": ORDER},
@@ -212,6 +283,13 @@ def measure(*, smoke: bool = False, workers_list: list[int] | None = None) -> di
         "max_iterations": max_iterations,
         "smoke": smoke,
         "modes": modes,
+        "incremental": {
+            "recompute_live": recompute,
+            "speedup_vs_recompute_live": {
+                mode: recompute[mode]["wall_s"] / modes[mode]["wall_s"]
+                for mode in TRANSFER_MODES
+            },
+        },
         "guard_factor": GUARD_FACTOR,
     }
     if workers_list:
@@ -242,6 +320,12 @@ def measure(*, smoke: bool = False, workers_list: list[int] | None = None) -> di
             mode: PRE_CHANGE_WALL_S[mode] / modes[mode]["wall_s"]
             for mode in TRANSFER_MODES
         }
+        payload["incremental"]["recorded_recompute_wall_s"] = RECORDED_RECOMPUTE_WALL_S
+        payload["incremental"]["speedup_vs_recorded_recompute"] = {
+            mode: RECORDED_RECOMPUTE_WALL_S[mode] / modes[mode]["wall_s"]
+            for mode in TRANSFER_MODES
+        }
+        payload["profile_hotloop"] = PROFILE_HOTLOOP_RECORDED
         payload["fast_scorers"] = measure_fast_scorers()
     return payload
 
@@ -259,6 +343,20 @@ def check_guard(payload: dict) -> list[str]:
             failures.append(
                 f"{mode}: smoke wall {wall:.3f}s exceeds {GUARD_FACTOR:.0f}x "
                 f"baseline {baseline:.3f}s"
+            )
+        # The recompute configuration (REPRO_INCREMENTAL=0) guards against
+        # the same baseline it set when it was the default; the incremental
+        # run must additionally never pessimize over its own recompute.
+        recompute_wall = payload["incremental"]["recompute_live"][mode]["wall_s"]
+        if recompute_wall > GUARD_FACTOR * baseline:
+            failures.append(
+                f"{mode}: recompute smoke wall {recompute_wall:.3f}s exceeds "
+                f"{GUARD_FACTOR:.0f}x baseline {baseline:.3f}s"
+            )
+        if wall > GUARD_FACTOR * recompute_wall:
+            failures.append(
+                f"{mode}: incremental smoke wall {wall:.3f}s exceeds "
+                f"{GUARD_FACTOR:.0f}x the recompute wall {recompute_wall:.3f}s"
             )
     for workers, modes in payload.get("host_workers", {}).get("live", {}).items():
         for mode, result in modes.items():
@@ -309,6 +407,11 @@ def main() -> None:
             line += (f" {PRE_CHANGE_WALL_S[mode]:>8.3f}s"
                      f" {payload['speedup'][mode]:>7.1f}x")
         print(line)
+    for mode in TRANSFER_MODES:
+        recompute = payload["incremental"]["recompute_live"][mode]
+        speedup = payload["incremental"]["speedup_vs_recompute_live"][mode]
+        print(f"{mode:<10} {recompute['wall_s']:>8.3f}s recompute "
+              f"(incremental engine {speedup:.1f}x over it, live)")
     for workers, modes in payload.get("host_workers", {}).get("live", {}).items():
         for mode in TRANSFER_MODES:
             result = modes[mode]

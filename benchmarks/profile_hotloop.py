@@ -5,9 +5,11 @@ Runs the paper-protocol batched tabu pipeline (the same workload as
 
 * the top functions by cumulative and internal time,
 * the wall-clock split measured by the runtime (kernel-body evaluation math
-  vs simulator bookkeeping), and
+  vs simulator bookkeeping),
 * the run's accounting counters (launches, recorded timeline intervals,
-  transferred bytes) — the object-churn side of the cost.
+  transferred bytes) — the object-churn side of the cost, and
+* the fast-path cache counters (move-table / workspace / coupling-index
+  hits, misses and evictions) aggregated over every live bounded cache.
 
 This is the tool that identified the PPP scoring math as ~90% of the
 pipeline's host wall clock (motivating the precompiled bilinear evaluator)
@@ -20,7 +22,9 @@ Usage::
         [--iterations 40] [--top 15] [--slow]
 
 ``--slow`` disables the precompiled PPP fast path (sets ``REPRO_PPP_FAST=0``
-for the run) to profile the reference evaluation instead.
+for the run) to profile the reference evaluation instead; ``--recompute``
+disables the incremental gain-cache engine (``REPRO_INCREMENTAL=0``) to
+profile the full per-iteration recompute.
 """
 
 import argparse
@@ -63,6 +67,16 @@ def profile_run(mode: str, trials: int, iterations: int, top: int) -> None:
           f"h2d {row.h2d_bytes} B, d2h {row.d2h_bytes} B, "
           f"sim elapsed {row.sim_elapsed_s * 1e3:.2f}ms")
 
+    from repro.problems import cache_stats
+
+    caches = cache_stats()
+    total = caches["hits"] + caches["misses"]
+    hit_rate = caches["hits"] / total if total else 0.0
+    print(f"  fast-path caches: {caches['caches']} live, "
+          f"{caches['entries']} entries, {caches['hits']} hits / "
+          f"{caches['misses']} misses ({hit_rate:.0%} hit rate), "
+          f"{caches['evictions']} evictions")
+
     for sort in ("cumulative", "tottime"):
         stream = io.StringIO()
         stats = pstats.Stats(profiler, stream=stream)
@@ -86,9 +100,15 @@ def main() -> None:
     parser.add_argument("--slow", action="store_true",
                         help="profile the reference PPP evaluation "
                              "(REPRO_PPP_FAST=0) instead of the fast path")
+    parser.add_argument("--recompute", action="store_true",
+                        help="profile the full per-iteration recompute "
+                             "(REPRO_INCREMENTAL=0) instead of the "
+                             "incremental gain-cache engine")
     args = parser.parse_args()
     if args.slow:
         os.environ["REPRO_PPP_FAST"] = "0"
+    if args.recompute:
+        os.environ["REPRO_INCREMENTAL"] = "0"
     profile_run(args.mode, args.trials, args.iterations, args.top)
 
 

@@ -30,6 +30,11 @@ from ..gpu.dtypes import TABU_NEVER
 from ..gpu.faults import FaultEvent, FaultPlan
 from ..parallel import host_parallel
 from ..problems.base import as_solution
+from ..problems.incremental import (
+    attach_gain_engine,
+    create_gain_engine,
+    detach_gain_engine,
+)
 from .base import REDUCED_SELECTION_MODES, check_transfer_mode
 from .result import LSResult
 
@@ -418,6 +423,12 @@ class MultiStartRunner:
     # ------------------------------------------------------------------
     def _apply_fault(self, event: FaultEvent, pool) -> None:
         """Apply one :class:`~repro.gpu.faults.FaultEvent` at a lockstep boundary."""
+        # Belt and braces: fault recovery may reshuffle replica placement, so
+        # drop all derived gain state (it re-derives on the next evaluation;
+        # the engine's mirror check would also catch any divergence).
+        gain_engine = getattr(self.problem, "_gain_engine", None)
+        if gain_engine is not None:
+            gain_engine.invalidate_all()
         if event.kind in ("fail", "join"):
             method = getattr(
                 self.evaluator,
@@ -640,94 +651,113 @@ class MultiStartRunner:
 
         lockstep = resume_state["lockstep"] if resuming else 0
         resumed_at = lockstep if resuming else -1
-        while True:
-            # Per-replica stopping checks, in the scalar loop's order:
-            # target first, then the iteration cap.
-            reached = active & (best_fitness <= self.target_fitness)
-            reasons[reached] = "target_reached"
-            capped = active & ~reached & (iterations >= self.max_iterations)
-            active &= ~(reached | capped)
-            if not active.any():
-                break
-            # Checkpoint before same-boundary faults: a resumed run re-applies
-            # the faults due at the checkpointed lockstep, replaying exactly
-            # what the uninterrupted run did after taking the checkpoint.
-            if (
-                checkpoint_every
-                and lockstep
-                and lockstep % checkpoint_every == 0
-                and lockstep != resumed_at
-            ):
-                checkpoint_callback(take_checkpoint())
-            if fault_plan is not None:
-                for event in fault_plan.due(lockstep):
-                    self._apply_fault(event, pool)
-            if rebalance and lockstep and lockstep % rebalance == 0:
-                # Timing/placement only: keep the still-active replicas split
-                # proportionally to device throughput (trajectories unchanged).
-                self.evaluator.rebalance_resident(active=active)
-            lockstep += 1
-            active_idx = np.nonzero(active)[0]
+        # Incremental gain cache: the one batched evaluation per lockstep
+        # iteration is served from persistent per-replica gain state advanced
+        # by the committed moves below; the engine re-derives any replica
+        # whose solution changed outside a commit (restarts, faults, resume),
+        # so trajectories stay bit-identical to the recompute path.  Gain
+        # state is derived data — fresh per run, never checkpointed.
+        gain_engine = create_gain_engine(self.problem, rows_hint=num_replicas)
+        prev_engine = attach_gain_engine(self.problem, gain_engine)
+        try:
+            while True:
+                # Per-replica stopping checks, in the scalar loop's order:
+                # target first, then the iteration cap.
+                reached = active & (best_fitness <= self.target_fitness)
+                reasons[reached] = "target_reached"
+                capped = active & ~reached & (iterations >= self.max_iterations)
+                active &= ~(reached | capped)
+                if not active.any():
+                    break
+                # Checkpoint before same-boundary faults: a resumed run re-applies
+                # the faults due at the checkpointed lockstep, replaying exactly
+                # what the uninterrupted run did after taking the checkpoint.
+                if (
+                    checkpoint_every
+                    and lockstep
+                    and lockstep % checkpoint_every == 0
+                    and lockstep != resumed_at
+                ):
+                    checkpoint_callback(take_checkpoint())
+                if fault_plan is not None:
+                    for event in fault_plan.due(lockstep):
+                        self._apply_fault(event, pool)
+                if rebalance and lockstep and lockstep % rebalance == 0:
+                    # Timing/placement only: keep the still-active replicas split
+                    # proportionally to device throughput (trajectories unchanged).
+                    self.evaluator.rebalance_resident(active=active)
+                    if gain_engine is not None:
+                        # Replica placement moved; drop derived gain state and
+                        # let it re-derive at the next evaluation.
+                        gain_engine.invalidate_all()
+                lockstep += 1
+                active_idx = np.nonzero(active)[0]
 
-            # One batched evaluation for every still-active replica (the
-            # single S x M GPU launch of the solution-parallel engine).
-            step_wall = time.perf_counter()
-            step_sim = self.evaluator.stats.simulated_time
-            sub_last = last_applied[active_idx] if last_applied is not None else None
-            if reduced_path:
-                indices, selected_fitness, optima = self._select_reduced(
-                    active_idx,
-                    current_fitness[active_idx],
-                    best_fitness[active_idx],
-                    iterations[active_idx],
-                    sub_last,
-                )
-            else:
-                if resident:
-                    fitnesses = self.evaluator.evaluate_resident(active_idx)
-                else:
-                    fitnesses = self.evaluator.evaluate_many(current[active_idx])
-                indices, selected_fitness, optima = self._select(
-                    fitnesses,
-                    current_fitness[active_idx],
-                    best_fitness[active_idx],
-                    iterations[active_idx],
-                    sub_last,
-                )
-            sim_share[active_idx] += (
-                self.evaluator.stats.simulated_time - step_sim
-            ) / active_idx.size
-            evaluations[active_idx] += size
-            if optima.any():
-                stopped = active_idx[optima]
-                reasons[stopped] = "local_optimum"
-                active[stopped] = False
-
-            movers = active_idx[~optima]
-            if movers.size:
-                move_idx = indices[~optima]
-                moves = mapping.from_flat_batch(move_idx)
-                current[movers[:, None], moves] ^= 1
-                if resident:
-                    # Delta packet: one (replica, bit) pair per flipped bit
-                    # (free inside a persistent launch — the resident grid
-                    # scattered its own selection).
-                    self.evaluator.apply_deltas(
-                        np.repeat(movers, moves.shape[1]), moves.reshape(-1)
+                # One batched evaluation for every still-active replica (the
+                # single S x M GPU launch of the solution-parallel engine).
+                step_wall = time.perf_counter()
+                step_sim = self.evaluator.stats.simulated_time
+                if gain_engine is not None:
+                    gain_engine.expect(active_idx)
+                sub_last = last_applied[active_idx] if last_applied is not None else None
+                if reduced_path:
+                    indices, selected_fitness, optima = self._select_reduced(
+                        active_idx,
+                        current_fitness[active_idx],
+                        best_fitness[active_idx],
+                        iterations[active_idx],
+                        sub_last,
                     )
-                current_fitness[movers] = selected_fitness[~optima]
-                if last_applied is not None:
-                    last_applied[movers, move_idx] = iterations[movers]
-                improved = current_fitness[movers] < best_fitness[movers]
-                improved_rows = movers[improved]
-                best[improved_rows] = current[improved_rows]
-                best_fitness[improved_rows] = current_fitness[improved_rows]
-                iterations[movers] += 1
-                if self.track_history:
-                    history_steps.append((movers, best_fitness[movers]))
-            wall_share[active_idx] += (
-                time.perf_counter() - step_wall
-            ) / active_idx.size
+                else:
+                    if resident:
+                        fitnesses = self.evaluator.evaluate_resident(active_idx)
+                    else:
+                        fitnesses = self.evaluator.evaluate_many(current[active_idx])
+                    indices, selected_fitness, optima = self._select(
+                        fitnesses,
+                        current_fitness[active_idx],
+                        best_fitness[active_idx],
+                        iterations[active_idx],
+                        sub_last,
+                    )
+                sim_share[active_idx] += (
+                    self.evaluator.stats.simulated_time - step_sim
+                ) / active_idx.size
+                evaluations[active_idx] += size
+                if optima.any():
+                    stopped = active_idx[optima]
+                    reasons[stopped] = "local_optimum"
+                    active[stopped] = False
+
+                movers = active_idx[~optima]
+                if movers.size:
+                    move_idx = indices[~optima]
+                    moves = mapping.from_flat_batch(move_idx)
+                    current[movers[:, None], moves] ^= 1
+                    if gain_engine is not None:
+                        gain_engine.commit(movers, moves)
+                    if resident:
+                        # Delta packet: one (replica, bit) pair per flipped bit
+                        # (free inside a persistent launch — the resident grid
+                        # scattered its own selection).
+                        self.evaluator.apply_deltas(
+                            np.repeat(movers, moves.shape[1]), moves.reshape(-1)
+                        )
+                    current_fitness[movers] = selected_fitness[~optima]
+                    if last_applied is not None:
+                        last_applied[movers, move_idx] = iterations[movers]
+                    improved = current_fitness[movers] < best_fitness[movers]
+                    improved_rows = movers[improved]
+                    best[improved_rows] = current[improved_rows]
+                    best_fitness[improved_rows] = current_fitness[improved_rows]
+                    iterations[movers] += 1
+                    if self.track_history:
+                        history_steps.append((movers, best_fitness[movers]))
+                wall_share[active_idx] += (
+                    time.perf_counter() - step_wall
+                ) / active_idx.size
+        finally:
+            detach_gain_engine(self.problem, prev_engine)
 
         if resident:
             self.evaluator.end_search()

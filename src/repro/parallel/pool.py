@@ -49,6 +49,8 @@ from multiprocessing import shared_memory
 
 import numpy as np
 
+from ..problems.incremental import attach_gain_engine, create_gain_engine
+
 __all__ = [
     "DEFAULT_MIN_WORK",
     "HOST_WORKERS_ENV",
@@ -151,13 +153,24 @@ def _worker_main(worker_id, num_workers, conn, sol_shm, out_shm):  # pragma: no 
     - ``("attach", problem)``   — new problem instance (pool-less pickle)
     - ``("table", key, moves)`` — cache a frozen move table under ``key``
     - ``("drop", key)``         — evict a cached table
-    - ``("eval", S, n, M, key)``— score rows ``[lo, hi)`` of the shm block
+    - ``("eval", S, n, M, key, ops)`` — apply buffered gain-cache ops, then
+      score rows ``[lo, hi)`` of the shm block
+    - ``("update", ops)``       — apply gain-cache ops without evaluating
     - ``("stop",)``             — exit
 
     Every command is acked with ``("ok",)`` or ``("err", traceback)``.
+
+    Each worker maintains its own shard-local incremental gain engine
+    (:mod:`repro.problems.incremental`): the parent forwards the search
+    loop's expect/commit/reset stream (piggybacked on ``eval`` — far below
+    the dispatch threshold, the ops never pay their own IPC round trip) and
+    the worker's engine serves its replica shard from maintained state,
+    self-healing any replica whose shared-memory row diverged (migration,
+    rebalance, faults, checkpoint restore).
     """
     problem = None
     tables: dict[int, np.ndarray] = {}
+    gain_expect = None
     while True:
         try:
             msg = conn.recv()
@@ -171,16 +184,34 @@ def _worker_main(worker_id, num_workers, conn, sol_shm, out_shm):  # pragma: no 
             if cmd == "attach":
                 problem = msg[1]
                 tables.clear()
+                gain_expect = None
+                attach_gain_engine(problem, create_gain_engine(problem))
             elif cmd == "table":
                 arr = np.asarray(msg[2], dtype=np.int64)
                 arr.setflags(write=False)
                 tables[msg[1]] = arr
             elif cmd == "drop":
                 tables.pop(msg[1], None)
+            elif cmd == "update":
+                engine = getattr(problem, "_gain_engine", None)
+                if engine is not None:
+                    expect = engine.apply_ops(msg[1])
+                    if expect is not None:
+                        gain_expect = expect
             elif cmd == "eval":
-                _, num_rows, n, num_moves, key = msg
+                _, num_rows, n, num_moves, key, ops = msg
+                engine = getattr(problem, "_gain_engine", None)
+                if engine is not None and ops:
+                    expect = engine.apply_ops(ops)
+                    if expect is not None:
+                        gain_expect = expect
                 lo, hi = shard_bounds(num_rows, num_workers, worker_id)
                 if lo < hi:
+                    if engine is not None:
+                        if gain_expect is not None and gain_expect.shape[0] == num_rows:
+                            engine.set_expected(gain_expect[lo:hi])
+                        else:
+                            engine.set_expected(None)
                     sol = np.ndarray((num_rows, n), dtype=np.int8, buffer=sol_shm.buf)
                     out = np.ndarray((num_rows, num_moves), dtype=np.float64, buffer=out_shm.buf)
                     problem.evaluate_neighborhood_batch(sol[lo:hi], tables[key], out=out[lo:hi])
@@ -208,6 +239,7 @@ class HostWorkerPool:
         self.solution_capacity = int(solution_capacity)
         self.out_capacity = int(out_capacity)
         self.dispatch_count = 0
+        self.update_count = 0
         self._attached = None
         self._tables: dict[int, np.ndarray] = {}
         self._closed = False
@@ -346,6 +378,16 @@ class HostWorkerPool:
         self._tables[key] = moves
         return key
 
+    def send_update(self, ops: list) -> None:
+        """Broadcast gain-cache ops to every worker without evaluating.
+
+        The hot path never calls this — ops piggyback on ``eval`` — but
+        explicit resets (fault recovery outside an evaluation) can flush
+        eagerly.
+        """
+        self._broadcast(("update", ops))
+        self.update_count += 1
+
     def try_evaluate(
         self,
         problem,
@@ -374,11 +416,24 @@ class HostWorkerPool:
             return None
         if num_rows * n > self.solution_capacity or num_rows * num_moves > self.out_capacity:
             return None
+        # Lazy gain-cache sync: the buffered expect/commit/reset ops ride the
+        # eval broadcast (update payloads are tiny — far below the dispatch
+        # threshold — so they must never pay their own IPC round trip; when
+        # the pool declines an eval they simply stay buffered).  The workers
+        # serve this evaluation, so the parent engine's pending expectation
+        # is dropped — its own rows heal on the next local evaluation.
+        ops: list = []
+        engine = getattr(problem, "_gain_engine", None)
+        if engine is not None:
+            ops = engine.drain_ops()
+            engine.set_expected(None)
         try:
             key = self._ensure_table(moves)
             sol_view = np.ndarray((num_rows, n), dtype=np.int8, buffer=self._sol_shm.buf)
             np.copyto(sol_view, solutions)
-            self._broadcast(("eval", num_rows, n, num_moves, key))
+            self._broadcast(("eval", num_rows, n, num_moves, key, ops))
+            if ops:
+                self.update_count += 1
         except WorkerDied:
             # The pool already shut itself down (shared memory released, so
             # no stale rows can leak); decline and let the caller evaluate

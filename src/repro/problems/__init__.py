@@ -1,7 +1,14 @@
 """Binary optimization problems used as workloads for the neighborhood kernels."""
 
 from .base import BinaryProblem, as_solution, flip_bits
-from .fastpath import clear_fast_caches
+from .fastpath import cache_stats, clear_fast_caches
+from .incremental import (
+    GainEngine,
+    attach_gain_engine,
+    create_gain_engine,
+    detach_gain_engine,
+    incremental_enabled,
+)
 from .instances import (
     FIGURE8_INSTANCES,
     TABLE_INSTANCES,
@@ -19,9 +26,15 @@ from .ubqp import UBQP
 
 __all__ = [
     "BinaryProblem",
+    "GainEngine",
     "as_solution",
+    "attach_gain_engine",
+    "cache_stats",
     "clear_fast_caches",
+    "create_gain_engine",
+    "detach_gain_engine",
     "flip_bits",
+    "incremental_enabled",
     "PermutedPerceptronProblem",
     "generate_ppp_instance",
     "majority_vote_solution",

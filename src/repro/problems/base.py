@@ -65,6 +65,10 @@ class BinaryProblem(abc.ABC):
     #: run (``None`` everywhere else, including inside the workers).
     _host_pool = None
 
+    #: Incremental gain-cache engine (:mod:`repro.problems.incremental`),
+    #: attached by the search loops for the duration of one run.
+    _gain_engine = None
+
     # ------------------------------------------------------------------
     # Required interface
     # ------------------------------------------------------------------
@@ -106,6 +110,9 @@ class BinaryProblem(abc.ABC):
         moves = np.asarray(moves, dtype=np.int64)
         if moves.ndim != 2:
             raise ValueError(f"expected an (num_moves, k) move array, got {moves.shape}")
+        incremental = self._dispatch_gain_engine_scalar(solution, moves)
+        if incremental is not None:
+            return incremental
         num_moves = moves.shape[0]
         out = np.empty(num_moves, dtype=np.float64)
         for start in range(0, num_moves, chunk):
@@ -165,6 +172,9 @@ class BinaryProblem(abc.ABC):
         sharded = self._dispatch_host_pool(solutions, moves, out)
         if sharded is not None:
             return sharded
+        incremental = self._dispatch_gain_engine(solutions, moves, out)
+        if incremental is not None:
+            return incremental
         if out is None:
             out = np.empty((solutions.shape[0], moves.shape[0]), dtype=np.float64)
         for s in range(solutions.shape[0]):
@@ -191,6 +201,42 @@ class BinaryProblem(abc.ABC):
             return None
         return pool.try_evaluate(self, solutions, moves, out=out)
 
+    def _dispatch_gain_engine(
+        self,
+        solutions: np.ndarray,
+        moves: np.ndarray,
+        out: np.ndarray | None,
+    ) -> np.ndarray | None:
+        """Serve this batch from the attached incremental gain cache, if any.
+
+        Returns ``None`` when no engine is attached or the engine declines
+        (no expected-row declaration, unbound/foreign move table, oversized
+        scratch) — the caller then recomputes, which is bit-identical.
+        Concrete ``evaluate_neighborhood_batch`` implementations consult this
+        hook right after the host-pool dispatch.
+        """
+        engine = self._gain_engine
+        if engine is None:
+            return None
+        return engine.try_evaluate(solutions, moves, out)
+
+    def _dispatch_gain_engine_scalar(
+        self, solution: np.ndarray, moves: np.ndarray
+    ) -> np.ndarray | None:
+        """Single-replica (S=1) variant of :meth:`_dispatch_gain_engine`.
+
+        The scalar search loop maintains the same engine through a one-row
+        mirror; scalar ``evaluate_neighborhood`` overrides consult this hook
+        right after argument validation, ahead of their own delta evaluation.
+        """
+        engine = self._gain_engine
+        if engine is None:
+            return None
+        served = engine.try_evaluate(solution[None, :], moves, None)
+        if served is None:
+            return None
+        return served[0]
+
     def __getstate__(self) -> dict:
         """Pickle without process-local state (worker pools, lazy scorers).
 
@@ -201,6 +247,7 @@ class BinaryProblem(abc.ABC):
         """
         state = dict(self.__dict__)
         state.pop("_host_pool", None)
+        state.pop("_gain_engine", None)
         if state.get("_fast_scorer") is not None:
             state["_fast_scorer"] = None
         return state

@@ -32,6 +32,7 @@ import numpy as np
 __all__ = [
     "BoundedCache",
     "MoveTableCache",
+    "cache_stats",
     "clear_fast_caches",
     "fast_path_enabled",
     "validated_pair_columns",
@@ -59,6 +60,23 @@ def clear_fast_caches() -> None:
         cache.clear()
 
 
+def cache_stats() -> dict:
+    """Aggregate hit/miss/eviction counters over every live cache.
+
+    Surfaced by the hot-loop profiler so move-table and gain-state cache
+    behavior is observable under long runs.
+    """
+    total = {"caches": 0, "entries": 0, "hits": 0, "misses": 0, "evictions": 0}
+    for cache in list(_CACHE_REGISTRY):
+        stats = cache.stats()
+        total["caches"] += 1
+        total["entries"] += stats["size"]
+        total["hits"] += stats["hits"]
+        total["misses"] += stats["misses"]
+        total["evictions"] += stats["evictions"]
+    return total
+
+
 class BoundedCache:
     """A small insertion-ordered LRU mapping.
 
@@ -67,20 +85,25 @@ class BoundedCache:
     beyond ``maxsize`` evict the least recently used entry.
     """
 
-    __slots__ = ("maxsize", "_data", "__weakref__")
+    __slots__ = ("maxsize", "_data", "hits", "misses", "evictions", "__weakref__")
 
     def __init__(self, maxsize: int) -> None:
         if maxsize <= 0:
             raise ValueError(f"maxsize must be positive, got {maxsize}")
         self.maxsize = int(maxsize)
         self._data: dict = {}
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
         _CACHE_REGISTRY.add(self)
 
     def get(self, key, default=None):
         try:
             value = self._data.pop(key)
         except KeyError:
+            self.misses += 1
             return default
+        self.hits += 1
         self._data[key] = value  # re-insert as most recently used
         return value
 
@@ -89,6 +112,17 @@ class BoundedCache:
         self._data[key] = value
         while len(self._data) > self.maxsize:
             self._data.pop(next(iter(self._data)))
+            self.evictions += 1
+
+    def stats(self) -> dict:
+        """Cumulative cache-behavior counters (survive :meth:`clear`)."""
+        return {
+            "size": len(self._data),
+            "maxsize": self.maxsize,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+        }
 
     def clear(self) -> None:
         self._data.clear()
@@ -110,15 +144,17 @@ class MoveTableCache:
     between calls and are rebuilt fresh every time.
     """
 
-    __slots__ = ("_build", "_cache")
+    __slots__ = ("_build", "_cache", "writable_rebuilds")
 
     def __init__(self, build: Callable[[np.ndarray], object], maxsize: int = 8) -> None:
         self._build = build
         self._cache = BoundedCache(maxsize)
+        self.writable_rebuilds = 0
 
     def lookup(self, moves: np.ndarray):
         """The preprocessed table for ``moves`` (``None`` if out of model)."""
         if moves.flags.writeable:
+            self.writable_rebuilds += 1
             return self._build(moves)
         entry = self._cache.get(id(moves))
         if entry is not None and entry[0] is moves:
@@ -127,6 +163,12 @@ class MoveTableCache:
         if table is not None:
             self._cache.put(id(moves), (moves, table))
         return table
+
+    def stats(self) -> dict:
+        """Cumulative counters of the underlying identity-keyed cache."""
+        stats = self._cache.stats()
+        stats["writable_rebuilds"] = self.writable_rebuilds
+        return stats
 
     def __len__(self) -> int:
         return len(self._cache)

@@ -429,6 +429,9 @@ class PermutedPerceptronProblem(BinaryProblem):
         moves = np.asarray(moves, dtype=np.int64)
         if moves.ndim != 2:
             raise ValueError(f"expected an (num_moves, k) move array, got {moves.shape}")
+        incremental = self._dispatch_gain_engine_scalar(solution, moves)
+        if incremental is not None:
+            return incremental
         num_moves, k = moves.shape
         scorer = self._fast()
         if scorer is not None and num_moves:
@@ -475,6 +478,9 @@ class PermutedPerceptronProblem(BinaryProblem):
         sharded = self._dispatch_host_pool(solutions, moves, out)
         if sharded is not None:
             return sharded
+        incremental = self._dispatch_gain_engine(solutions, moves, out)
+        if incremental is not None:
+            return incremental
         num_solutions = solutions.shape[0]
         num_moves = moves.shape[0]
         scorer = self._fast()

@@ -251,6 +251,9 @@ class UBQP(BinaryProblem):
         sharded = self._dispatch_host_pool(solutions, moves, out)
         if sharded is not None:
             return sharded
+        incremental = self._dispatch_gain_engine(solutions, moves, out)
+        if incremental is not None:
+            return incremental
         num_solutions = solutions.shape[0]
         num_moves = moves.shape[0]
         scorer = self._fast()
