@@ -128,6 +128,51 @@ def build_parser() -> argparse.ArgumentParser:
                          help="interconnect topology for the GPU platforms "
                               "(see the devices command for the link layout)")
 
+    p_serve = sub.add_parser(
+        "serve",
+        help="replay a solve-job arrival trace through the continuous-batching "
+             "solve server and print the latency/goodput table",
+    )
+    p_serve.add_argument("--trace", default=None, metavar="FILE",
+                         help="workload JSON written by repro.service.save_trace; "
+                              "omitted: generate an open-loop Poisson trace from "
+                              "--trace-jobs/--load/--seed")
+    p_serve.add_argument("--devices", type=int, default=4,
+                         help="device count of the simulated pool")
+    p_serve.add_argument("--topology", default=None,
+                         choices=("dedicated", "shared", "switched", "nvlink"),
+                         help="interconnect topology the GPU transfers are routed over")
+    p_serve.add_argument("--evaluator", default="multi-gpu",
+                         choices=("gpu", "multi-gpu"),
+                         help="named evaluator spec the batch runs on")
+    p_serve.add_argument("--transfer-mode", default="reduced",
+                         choices=("full", "delta", "reduced", "persistent"),
+                         help="host<->device transfer strategy of the live batch")
+    p_serve.add_argument("--capacity", type=int, default=None,
+                         help="replica slots in the live batch "
+                              "(default: 16 per device, REPRO_SERVICE_CAPACITY "
+                              "overrides)")
+    p_serve.add_argument("--policy", default="both",
+                         choices=("both", "continuous", "drain"),
+                         help="continuous tenant packing, the drain-and-refill "
+                              "baseline, or both side by side")
+    p_serve.add_argument("--m", type=int, default=31, help="constraints (rows of A)")
+    p_serve.add_argument("--n", type=int, default=31, help="secret length (columns of A)")
+    p_serve.add_argument("--k", type=int, default=1, choices=(1, 2, 3),
+                         help="Hamming order of the neighborhood")
+    p_serve.add_argument("--trace-jobs", type=int, default=60,
+                         help="jobs in the generated trace (without --trace)")
+    p_serve.add_argument("--load", type=float, default=1.5,
+                         help="offered load of the generated trace as a multiple "
+                              "of the batch's calibrated service capacity")
+    p_serve.add_argument("--seed", type=int, default=0,
+                         help="instance and trace seed")
+    p_serve.add_argument("--host-workers", type=int, default=None,
+                         help="shard the batched evaluation across host worker "
+                              "processes (see the experiment command)")
+    p_serve.add_argument("--save-trace", default=None, metavar="FILE",
+                         help="also write the (generated or loaded) trace as JSON")
+
     p_dev = sub.add_parser("devices", help="list the simulated GPU device presets")
     p_dev.add_argument("--topology", default=None,
                        choices=("dedicated", "shared", "switched", "nvlink"),
@@ -275,6 +320,85 @@ def _cmd_solve(args) -> int:
     return 0 if result.success else 1
 
 
+def _cmd_serve(args) -> int:
+    from .harness import format_service_table, resolve_evaluator_factory
+    from .neighborhoods import KHammingNeighborhood
+    from .problems import PermutedPerceptronProblem
+    from .service import (
+        SolveServer,
+        calibrate_step_time,
+        load_trace,
+        poisson_trace,
+        saturating_rate,
+        save_trace,
+    )
+
+    m, n, k, seed = args.m, args.n, args.k, args.seed
+    jobs = None
+    if args.trace:
+        meta, jobs = load_trace(args.trace)
+        m = int(meta.get("m", m))
+        n = int(meta.get("n", n))
+        k = int(meta.get("k", k))
+        seed = int(meta.get("seed", seed))
+    problem = PermutedPerceptronProblem.generate(m, n, rng=seed)
+    neighborhood = KHammingNeighborhood(problem.n, k)
+    factory = resolve_evaluator_factory(
+        args.evaluator,
+        devices=args.devices if args.evaluator == "multi-gpu" else None,
+        topology=args.topology,
+    )
+    capacity = args.capacity
+    if capacity is None:
+        devices = args.devices if args.evaluator == "multi-gpu" else 1
+        capacity = 16 * devices
+
+    replicas, budget = (1, 8), (10, 150)
+    if jobs is None:
+        calibrator = factory(problem, neighborhood)
+        step_time = calibrate_step_time(
+            calibrator, capacity=capacity, transfer_mode=args.transfer_mode
+        )
+        calibrator.close()
+        mean_work = (sum(replicas) / 2) * (sum(budget) / 2)
+        rate = saturating_rate(step_time, capacity, mean_work, load=args.load)
+        jobs = poisson_trace(
+            args.trace_jobs, rate, rng=seed, replicas=replicas, budget=budget
+        )
+    if args.save_trace:
+        save_trace(
+            args.save_trace, jobs, problem={"m": m, "n": n, "k": k, "seed": seed}
+        )
+    policies = ("continuous", "drain") if args.policy == "both" else (args.policy,)
+    print(f"instance: {m} x {n} PPP, {k}-Hamming neighborhood, "
+          f"{args.evaluator} evaluator ({args.devices} devices, "
+          f"{args.transfer_mode} transfers), capacity {capacity} replica slots, "
+          f"{len(jobs)} jobs")
+    reports = {}
+    for policy in policies:
+        evaluator = factory(problem, neighborhood)
+        server = SolveServer(
+            evaluator,
+            capacity=capacity,
+            policy=policy,
+            transfer_mode=args.transfer_mode,
+            host_workers=args.host_workers,
+        )
+        reports[policy] = server.run_trace(jobs)
+        evaluator.close()
+    rows = [
+        report.summary_row(load=args.load if args.trace is None else None)
+        for report in reports.values()
+    ]
+    print()
+    print(format_service_table(rows, title="Solve server: latency/goodput"))
+    if len(reports) == 2 and reports["drain"].goodput > 0:
+        ratio = reports["continuous"].goodput / reports["drain"].goodput
+        print()
+        print(f"continuous-batching goodput: x{ratio:.2f} over drain-and-refill")
+    return 0
+
+
 def _cmd_devices(args) -> int:
     from .gpu import DEVICE_PRESETS, GTX_280, XEON_3GHZ, HostMemoryKind, resolve_topology
 
@@ -329,6 +453,7 @@ _COMMANDS = {
     "experiment": _cmd_experiment,
     "figure8": _cmd_figure8,
     "solve": _cmd_solve,
+    "serve": _cmd_serve,
     "devices": _cmd_devices,
     "mapping": _cmd_mapping,
 }

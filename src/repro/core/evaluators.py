@@ -618,6 +618,40 @@ class GPUEvaluator(NeighborhoodEvaluator):
         self._tabu_last_applied = buf.data
         self._tabu_tenure = int(tenure)
 
+    def read_tabu_rows(self, rows: np.ndarray) -> np.ndarray:
+        """Copy out the device-resident tabu stamps of the given replica rows.
+
+        The solve server uses this to suspend a preempted tenant: its
+        ``last_applied`` stamps leave with the tenant and come back verbatim
+        on resume, so the continued trajectory stays bit-identical.
+        """
+        if self._tabu_last_applied is None:
+            raise RuntimeError("no device-resident tabu memory in this session")
+        rows = np.asarray(rows, dtype=np.int64).ravel()
+        return self._tabu_last_applied[rows].copy()
+
+    def write_tabu_rows(self, rows: np.ndarray, stamps: np.ndarray | None = None) -> None:
+        """Overwrite replica rows of the device-resident tabu memory.
+
+        ``stamps=None`` resets the rows to the "never applied" sentinel —
+        what a fresh tenant needs when it takes over a replica slot.  The
+        fill happens in device global memory (folded into the next launch),
+        so nothing crosses PCIe and nothing is priced on the timeline.
+        """
+        if self._tabu_last_applied is None:
+            raise RuntimeError("no device-resident tabu memory in this session")
+        rows = np.asarray(rows, dtype=np.int64).ravel()
+        if stamps is None:
+            self._tabu_last_applied[rows] = TABU_NEVER
+            return
+        stamps = np.asarray(stamps, dtype=TABU_STAMP_DTYPE)
+        if stamps.shape != (rows.size, self.neighborhood.size):
+            raise ValueError(
+                f"expected a ({rows.size}, {self.neighborhood.size}) stamp block, "
+                f"got {stamps.shape}"
+            )
+        self._tabu_last_applied[rows] = stamps
+
     def apply_deltas(
         self, replicas: np.ndarray, bits: np.ndarray, *, stage: bool = True
     ) -> None:
@@ -1581,6 +1615,40 @@ class MultiGPUEvaluator(NeighborhoodEvaluator):
         self._resident_tenure = int(tenure)
         for evaluator, _lo, _hi in self._resident_parts():
             evaluator.init_tabu_memory(tenure)
+
+    def read_tabu_rows(self, rows: np.ndarray) -> np.ndarray:
+        """Gather tabu stamp rows from the devices owning each replica."""
+        rows = np.asarray(rows, dtype=np.int64).ravel()
+        out = np.empty((rows.size, self.neighborhood.size), dtype=TABU_STAMP_DTYPE)
+        seen = np.zeros(rows.size, dtype=bool)
+        for evaluator, lo, hi in self._resident_parts():
+            mask = (rows >= lo) & (rows < hi)
+            if mask.any():
+                out[mask] = evaluator.read_tabu_rows(rows[mask] - lo)
+                seen |= mask
+        if not seen.all():
+            raise IndexError("tabu row index out of range")
+        return out
+
+    def write_tabu_rows(self, rows: np.ndarray, stamps: np.ndarray | None = None) -> None:
+        """Scatter stamp rows (or the reset sentinel) to the owning devices."""
+        rows = np.asarray(rows, dtype=np.int64).ravel()
+        stamps_block = None if stamps is None else np.asarray(stamps, dtype=TABU_STAMP_DTYPE)
+        if stamps_block is not None and stamps_block.shape != (
+            rows.size,
+            self.neighborhood.size,
+        ):
+            raise ValueError(
+                f"expected a ({rows.size}, {self.neighborhood.size}) stamp block, "
+                f"got {stamps_block.shape}"
+            )
+        for evaluator, lo, hi in self._resident_parts():
+            mask = (rows >= lo) & (rows < hi)
+            if mask.any():
+                evaluator.write_tabu_rows(
+                    rows[mask] - lo,
+                    None if stamps_block is None else stamps_block[mask],
+                )
 
     def apply_deltas(self, replicas: np.ndarray, bits: np.ndarray) -> None:
         """Route each ``(replica, bit)`` pair to the device owning the replica.

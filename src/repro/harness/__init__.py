@@ -28,7 +28,14 @@ from .reporting import (
     format_time,
     render_markdown_table,
 )
-from .tables import PAPER_REFERENCE, all_tables, table_one, table_three, table_two
+from .tables import (
+    PAPER_REFERENCE,
+    all_tables,
+    format_service_table,
+    table_one,
+    table_three,
+    table_two,
+)
 
 __all__ = [
     "AblationPoint",
@@ -66,6 +73,7 @@ __all__ = [
     "PAPER_FIGURE8_REFERENCE",
     "format_bytes",
     "format_experiment_table",
+    "format_service_table",
     "format_figure8_series",
     "format_time",
     "render_markdown_table",

@@ -9,10 +9,20 @@ factor).
 
 from __future__ import annotations
 
+from typing import Sequence
+
 from .config import ExperimentScale, get_scale
 from .experiment import ExperimentRow, scale_experiment_rows
+from .reporting import format_time, render_markdown_table
 
-__all__ = ["table_one", "table_two", "table_three", "all_tables", "PAPER_REFERENCE"]
+__all__ = [
+    "table_one",
+    "table_two",
+    "table_three",
+    "all_tables",
+    "format_service_table",
+    "PAPER_REFERENCE",
+]
 
 #: The paper's published rows, kept for side-by-side comparison in
 #: EXPERIMENTS.md and for sanity checks of the reproduced *shape*
@@ -70,3 +80,51 @@ def all_tables(scale: str | ExperimentScale = "smoke", **kwargs) -> dict[str, li
         "II": table_two(scale, **kwargs),
         "III": table_three(scale, **kwargs),
     }
+
+
+def format_service_table(rows: Sequence[dict], *, title: str | None = None) -> str:
+    """Latency/goodput table of the solve server's trace replays.
+
+    Each row is a :meth:`repro.service.ServiceReport.summary_row` dict —
+    one per (policy, offered load) replay — rendered as the same markdown
+    the other harness tables use.  Goodput is deadline-met completions per
+    simulated second; occupancy is the busy-time-weighted mean fraction of
+    replica slots evaluating.
+    """
+    headers = [
+        "Policy",
+        "Load",
+        "Jobs",
+        "Done",
+        "Rej",
+        "Exp",
+        "Pre",
+        "p50 latency",
+        "p99 latency",
+        "Goodput",
+        "Occupancy",
+        "Makespan",
+    ]
+    body = []
+    for row in rows:
+        load = row.get("load")
+        body.append(
+            [
+                str(row.get("label", row.get("policy", "?"))),
+                "-" if load is None else f"{load:.2f}x",
+                str(row["jobs"]),
+                str(row["completed"]),
+                str(row["rejected"]),
+                str(row["expired"]),
+                str(row["preempted"]),
+                format_time(row["p50"]),
+                format_time(row["p99"]),
+                f"{row['goodput']:.1f}/s",
+                f"{row['occupancy']:.0%}",
+                format_time(row["makespan"]),
+            ]
+        )
+    table = render_markdown_table(headers, body)
+    if title:
+        return f"**{title}**\n\n{table}"
+    return table

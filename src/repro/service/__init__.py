@@ -1,0 +1,46 @@
+"""Optimization-as-a-service: continuous batching over the lockstep engine.
+
+Clients submit solve jobs (replica count, iteration budget, deadline,
+priority, tenant) to a queue; the scheduler packs them as replica groups
+into the *already-running* lockstep batch on the simulated multi-GPU pool —
+joining at step boundaries and retiring the moment their budget or stopping
+rule fires — the way LLM inference servers do continuous batching, so batch
+occupancy stays near 100% under open-loop load instead of draining to a
+straggler tail between jobs.
+"""
+
+from .continuous import CapacityError, ContinuousRunner, StepReport
+from .jobs import (
+    JOB_STATUSES,
+    JobSpec,
+    TRACE_VERSION,
+    load_trace,
+    poisson_trace,
+    save_trace,
+)
+from .server import (
+    POLICIES,
+    JobRecord,
+    ServiceReport,
+    SolveServer,
+    calibrate_step_time,
+    saturating_rate,
+)
+
+__all__ = [
+    "CapacityError",
+    "ContinuousRunner",
+    "JOB_STATUSES",
+    "JobRecord",
+    "JobSpec",
+    "POLICIES",
+    "ServiceReport",
+    "SolveServer",
+    "StepReport",
+    "TRACE_VERSION",
+    "calibrate_step_time",
+    "load_trace",
+    "poisson_trace",
+    "saturating_rate",
+    "save_trace",
+]

@@ -111,3 +111,32 @@ class TestTablesAndFigureCommands:
         assert "Figure 8" in out
         assert "101 x 117" in out
         assert "401 x 417" not in out
+
+
+class TestServeCommand:
+    def test_generated_trace_both_policies(self, capsys, tmp_path):
+        trace_path = tmp_path / "trace.json"
+        assert main(["serve", "--m", "15", "--n", "15", "--devices", "2",
+                     "--capacity", "8", "--trace-jobs", "12",
+                     "--save-trace", str(trace_path)]) == 0
+        out = capsys.readouterr().out
+        assert "15 x 15 PPP" in out
+        assert "capacity 8 replica slots" in out
+        assert "p99 latency" in out
+        assert "continuous" in out and "drain" in out
+        assert "goodput: x" in out
+        assert trace_path.exists()
+
+    def test_replays_saved_trace(self, capsys, tmp_path):
+        from repro.service import poisson_trace, save_trace
+
+        trace_path = tmp_path / "trace.json"
+        jobs = poisson_trace(6, 50.0, rng=2, replicas=(1, 2), budget=(5, 15))
+        save_trace(trace_path, jobs, problem={"m": 17, "n": 17, "k": 1, "seed": 3})
+        assert main(["serve", "--trace", str(trace_path), "--evaluator", "gpu",
+                     "--capacity", "4", "--policy", "continuous"]) == 0
+        out = capsys.readouterr().out
+        # Instance geometry comes from the trace metadata, not the defaults.
+        assert "17 x 17 PPP" in out
+        assert "6 jobs" in out
+        assert "drain" not in out
